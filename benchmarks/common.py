@@ -1,0 +1,63 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table or figure from the paper: it runs
+the corresponding experiment, renders the same series the paper plots
+as a text table, writes it to ``benchmarks/results/``, and asserts the
+paper's qualitative claims (who wins, by roughly what factor, where the
+crossovers fall).  Absolute cycle counts are not expected to match the
+authors' C simulator.
+
+Scale control: set ``REPRO_SCALE=paper`` for the paper's radix-64
+configuration with long measurement windows (slow in pure Python), or
+leave the default ``fast`` scale — radix 32 with the same v=4, p=8,
+m=8 structure and shorter windows — which preserves every qualitative
+result.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core.config import RouterConfig
+from repro.harness.experiment import SweepSettings
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Offered-load points for latency-load curves.
+LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+SCALE = os.environ.get("REPRO_SCALE", "fast")
+
+if SCALE == "paper":
+    #: The paper's evaluation point: radix 64, 4 VCs, p=8, m=8.
+    BASE_CONFIG = RouterConfig(radix=64)
+    SETTINGS = SweepSettings(warmup=5000, measure=5000, drain=50000)
+    SAT_SETTINGS = SweepSettings(warmup=5000, measure=5000, drain=200)
+    LOW_RADIX = 16
+    NETWORK_SCALE = dict(high_radix=16, high_levels=2, low_radix=8,
+                         low_levels=3)
+else:
+    #: Reduced scale: radix 32 keeps the k/p = 4 subswitch grid and
+    #: m = 8 arbitration groups of the paper's design point.
+    BASE_CONFIG = RouterConfig(radix=32)
+    SETTINGS = SweepSettings(warmup=800, measure=1200, drain=20000)
+    SAT_SETTINGS = SweepSettings(warmup=800, measure=1200, drain=100)
+    LOW_RADIX = 16
+    NETWORK_SCALE = dict(high_radix=16, high_levels=2, low_radix=8,
+                         low_levels=3)
+
+
+def save_table(name: str, text: str) -> None:
+    """Write a regenerated figure table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    # Also echo to stdout so `pytest -s` shows it inline.
+    print()
+    print(text)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

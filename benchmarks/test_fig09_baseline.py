@@ -1,0 +1,74 @@
+"""Figure 9: latency vs offered load for the baseline architecture.
+
+Regenerates three curves on uniform random traffic with single-flit
+packets: the low-radix (radix-16) router with centralized single-cycle
+allocation, and the high-radix router with distributed allocation under
+CVA and OVA speculative VC allocation.
+
+Paper claims checked:
+* the high-radix router has higher zero-load latency (deeper pipeline
+  plus increased serialization at a single stage);
+* the high-radix router saturates well below the low-radix one
+  ("approximately 50% or 12% lower"), with most of the loss due to
+  speculative VC allocation;
+* OVA saturates below CVA ("about 45%").
+"""
+
+from common import BASE_CONFIG, LOADS, LOW_RADIX, SAT_SETTINGS, SETTINGS, once, save_table
+
+from repro.harness.experiment import run_load_sweep, saturation_throughput
+from repro.harness.report import format_saturation, format_sweeps
+from repro.routers.baseline import BaselineRouter
+from repro.routers.distributed import DistributedRouter
+
+LOW_CONFIG = BASE_CONFIG.with_(
+    radix=LOW_RADIX, subswitch_size=4, local_group_size=4
+)
+CVA = BASE_CONFIG
+OVA = BASE_CONFIG.with_(vc_allocator="ova")
+
+
+def test_fig09_baseline_architecture(benchmark):
+    def run():
+        sweeps = [
+            run_load_sweep(BaselineRouter, LOW_CONFIG, LOADS,
+                           label="low-radix", settings=SETTINGS),
+            run_load_sweep(DistributedRouter, CVA, LOADS,
+                           label="high-radix CVA", settings=SETTINGS),
+            run_load_sweep(DistributedRouter, OVA, LOADS,
+                           label="high-radix OVA", settings=SETTINGS),
+        ]
+        sats = {
+            "low-radix": saturation_throughput(
+                BaselineRouter, LOW_CONFIG, settings=SAT_SETTINGS),
+            "high-radix CVA": saturation_throughput(
+                DistributedRouter, CVA, settings=SAT_SETTINGS),
+            "high-radix OVA": saturation_throughput(
+                DistributedRouter, OVA, settings=SAT_SETTINGS),
+        }
+        return sweeps, sats
+
+    sweeps, sats = once(benchmark, run)
+
+    table = format_sweeps(
+        sweeps,
+        title="Figure 9: latency vs offered load, baseline architecture "
+              "(uniform random, 1-flit packets)",
+    )
+    table += "\n\nsaturation throughput:\n" + "\n".join(
+        f"  {name:16s} {thpt:.3f}" for name, thpt in sats.items()
+    )
+    save_table("fig09_baseline", table)
+
+    low, cva, ova = sweeps
+    # Higher zero-load latency for the high-radix router.
+    assert cva.zero_load_latency() > low.zero_load_latency()
+    # High-radix baseline saturates well below the low-radix router.
+    assert sats["high-radix CVA"] < sats["low-radix"] - 0.05
+    # OVA's deeper speculation costs additional throughput.
+    assert sats["high-radix OVA"] < sats["high-radix CVA"] - 0.02
+    # Ballpark bands from the paper (50% / 45% / 60%): generous margins
+    # because the substrate differs.
+    assert 0.40 < sats["high-radix CVA"] < 0.72
+    assert 0.35 < sats["high-radix OVA"] < 0.65
+    assert 0.55 < sats["low-radix"] < 0.85

@@ -1,0 +1,46 @@
+"""Simulator performance: cycles per second for each router model.
+
+Not a paper figure — this benchmark tracks the cost of the simulation
+substrate itself, which determines how close to the paper's radix-64 /
+long-window configuration a given machine can run.  pytest-benchmark's
+statistics across rounds make regressions in the hot per-cycle loops
+visible.
+"""
+
+import pytest
+
+from common import BASE_CONFIG
+
+from repro.harness.experiment import SwitchSimulation
+from repro.routers.baseline import BaselineRouter
+from repro.routers.buffered import BufferedCrossbarRouter
+from repro.routers.distributed import DistributedRouter
+from repro.routers.hierarchical import HierarchicalCrossbarRouter
+from repro.routers.shared_buffer import SharedBufferCrossbarRouter
+from repro.routers.voq import VoqRouter
+
+CYCLES = 300
+
+ROUTERS = {
+    "baseline": BaselineRouter,
+    "distributed": DistributedRouter,
+    "buffered": BufferedCrossbarRouter,
+    "shared_buffer": SharedBufferCrossbarRouter,
+    "hierarchical": HierarchicalCrossbarRouter,
+    "voq": VoqRouter,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ROUTERS))
+def test_perf_router_step(benchmark, name):
+    cls = ROUTERS[name]
+
+    def run():
+        sim = SwitchSimulation(cls(BASE_CONFIG), load=0.6)
+        for _ in range(CYCLES):
+            sim.step()
+        return sim.router.stats.flits_ejected
+
+    delivered = benchmark.pedantic(run, rounds=3, iterations=1)
+    # Sanity: the simulated router actually moved traffic.
+    assert delivered > 0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the Section 2 analytical models.
+
+Answers the designer's question the paper opens with: given a
+technology (total router bandwidth, router delay, network size, packet
+length), what radix should the router have, and what does the choice
+cost?  Sweeps radix through the latency, cost, power, and area models
+and prints the optimum for each of the paper's four technology
+anchors — including the 2003 (k* ~ 40) and 2010 (k* ~ 127) headline
+numbers.
+
+Run:
+    python examples/design_sweep.py
+    python examples/design_sweep.py --bandwidth 5e12 --delay 10e-9 \
+        --nodes 4096 --packet 256
+"""
+
+import argparse
+
+from repro.core.config import RouterConfig
+from repro.harness.report import format_table
+from repro.models import (
+    ALL_TECHNOLOGIES,
+    AreaModel,
+    Technology,
+    hierarchical_storage_bits,
+    network_cost,
+    network_power,
+    optimal_radix,
+    packet_latency,
+)
+
+
+def describe(tech: Technology) -> None:
+    k_star = optimal_radix(tech)
+    print(f"\n{tech.name}: aspect ratio A = {tech.aspect_ratio:.0f}, "
+          f"optimal radix k* = {k_star}")
+
+    rows = []
+    model = AreaModel()
+    for k in sorted({8, 16, 32, 64, 128, 256, k_star}):
+        if k < 2:
+            continue
+        # Area model needs a subswitch size dividing k; use ~sqrt(k).
+        p = max(1, 2 ** ((k.bit_length() - 1) // 2))
+        while k % p:
+            p //= 2
+        cfg = RouterConfig(radix=k, subswitch_size=p)
+        rows.append((
+            ("-> " if k == k_star else "   ") + str(k),
+            f"{packet_latency(k, tech) * 1e9:.1f}",
+            f"{network_cost(k, tech, 1000.0):.2f}",
+            f"{network_power(k, tech):.0f}",
+            f"{hierarchical_storage_bits(cfg) / 8 / 1024:.0f}",
+        ))
+    print(format_table(
+        ["radix", "latency (ns)", "cost (k channels)",
+         "power (routers)", "hier. storage (KiB)"],
+        rows,
+    ))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bandwidth", type=float,
+                        help="router bandwidth, bits/s")
+    parser.add_argument("--delay", type=float, help="router delay, s")
+    parser.add_argument("--nodes", type=int, help="network size N")
+    parser.add_argument("--packet", type=int, help="packet length, bits")
+    args = parser.parse_args()
+
+    if args.bandwidth:
+        tech = Technology(
+            "custom", args.bandwidth, args.delay or 20e-9,
+            args.nodes or 1024, args.packet or 128, 0,
+        )
+        describe(tech)
+        return
+
+    for tech in ALL_TECHNOLOGIES:
+        describe(tech)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Topology study: folded Clos vs 2D mesh at equal host count.
+
+The paper's conclusion flags topology as the next question for
+high-radix routers ("high-radix routers reduce network hop count,
+presenting challenges in the design of optimal network topologies").
+This example compares the Figure 19 substrate — a folded Clos with
+oblivious routing — against a 2D mesh with dimension-order routing at
+the same number of hosts, showing how the indirect network converts
+router radix into lower hop count and latency.
+
+Run:
+    python examples/mesh_vs_clos.py
+"""
+
+from repro.harness.report import format_table
+from repro.network import (
+    FoldedClos,
+    Mesh,
+    NetworkConfig,
+    NetworkSimulation,
+)
+
+
+def main() -> None:
+    clos = FoldedClos(radix=8, levels=2)  # 16 hosts, radix-8 switches
+    mesh = Mesh(dims=(4, 4), concentration=1)  # 16 hosts, radix-5 switches
+    assert clos.num_hosts == mesh.num_hosts
+
+    print("topology          switches  router radix  avg hops")
+    print(f"folded Clos       {clos.num_switches:>8}  {clos.radix:>12}  "
+          f"{clos.average_hop_count():>8.2f}")
+    print(f"4x4 mesh          {mesh.num_switches:>8}  {mesh.radix:>12}  "
+          f"{mesh.average_hop_count():>8.2f}")
+    print()
+
+    rows = []
+    for load in (0.1, 0.3, 0.5):
+        row = [f"{load:.1f}"]
+        for name, topo, radix in (
+            ("clos", clos, 8),
+            ("mesh", mesh, 5),
+        ):
+            cfg = NetworkConfig(radix=radix, num_vcs=2)
+            sim = NetworkSimulation(cfg, load, topology=topo)
+            r = sim.run(warmup=500, measure=700, drain=6000)
+            row.append(f"{r.avg_latency:.1f}" + ("*" if r.saturated else ""))
+        rows.append(row)
+
+    print(format_table(
+        ["load", "clos latency", "mesh latency"],
+        rows,
+        title="Uniform random traffic, 16 hosts (* = saturated)",
+    ))
+    print("\nThe Clos pays for its lower hop count with more switches; "
+          "the mesh economizes on hardware but queues packets through "
+          "more routers.")
+
+
+if __name__ == "__main__":
+    main()

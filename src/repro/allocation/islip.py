@@ -1,0 +1,119 @@
+"""iSLIP-style iterative VOQ allocator.
+
+Section 8 of the paper contrasts its buffered crossbars with virtual
+output queueing: "to prevent HoL blocking, virtual output queueing
+(VOQ) is often used in IP routers where each input has a separate
+buffer for each output [23].  VOQ adds O(k^2) buffering and becomes
+costly ... The advantage of the fully buffered crossbar compared to a
+VOQ switch is that there is no need for a complex allocator."
+
+This module supplies that complex allocator — the classic iterative
+round-robin matching of iSLIP (McKeown [23]) — so the repository can
+make the paper's comparison concrete: a VOQ switch driven by iSLIP
+reaches full throughput, but needs multiple global request/grant/accept
+iterations per cycle across all k^2 (input, output) pairs, which is
+exactly the centralized complexity the high-radix router designs avoid.
+
+One allocation round:
+
+1. *Request*: every input sends a request to each output it has a
+   queued cell for.
+2. *Grant*: each unmatched output grants the requesting input next at
+   or after its grant pointer.
+3. *Accept*: each unmatched input accepts the granting output next at
+   or after its accept pointer; pointers advance past the match only
+   on the **first** iteration and only when the grant is accepted
+   (the iSLIP pointer-update rule that desynchronizes the pointers).
+
+Repeating the round ``iterations`` times fills in most of the residual
+maximal matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+
+class IslipAllocator:
+    """Iterative round-robin (iSLIP) matching for a k x k VOQ switch."""
+
+    def __init__(self, num_inputs: int, num_outputs: int, iterations: int = 1) -> None:
+        if num_inputs < 1 or num_outputs < 1:
+            raise ValueError("num_inputs and num_outputs must be >= 1")
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.iterations = iterations
+        self._grant_ptr = [0] * num_outputs
+        self._accept_ptr = [0] * num_inputs
+
+    def allocate(self, requests: Sequence[Set[int]]) -> Dict[int, int]:
+        """Compute a matching for one cycle.
+
+        Args:
+            requests: For each input, the set of outputs it has traffic
+                for.
+
+        Returns:
+            Mapping input -> matched output.
+        """
+        if len(requests) != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} request sets, got {len(requests)}"
+            )
+        matched_inputs: Dict[int, int] = {}
+        matched_outputs: Set[int] = set()
+        for iteration in range(self.iterations):
+            grants = self._grant_phase(requests, matched_inputs, matched_outputs)
+            accepts = self._accept_phase(grants, iteration)
+            if not accepts:
+                break
+            for inp, out in accepts.items():
+                matched_inputs[inp] = out
+                matched_outputs.add(out)
+        return matched_inputs
+
+    def _grant_phase(
+        self,
+        requests: Sequence[Set[int]],
+        matched_inputs: Dict[int, int],
+        matched_outputs: Set[int],
+    ) -> Dict[int, List[int]]:
+        """Each unmatched output grants one unmatched requesting input.
+
+        Returns a map input -> list of outputs granting it.
+        """
+        grants: Dict[int, List[int]] = {}
+        for out in range(self.num_outputs):
+            if out in matched_outputs:
+                continue
+            requesters = [
+                i
+                for i in range(self.num_inputs)
+                if i not in matched_inputs and out in requests[i]
+            ]
+            if not requesters:
+                continue
+            ptr = self._grant_ptr[out]
+            winner = min(
+                requesters, key=lambda i: (i - ptr) % self.num_inputs
+            )
+            grants.setdefault(winner, []).append(out)
+        return grants
+
+    def _accept_phase(
+        self, grants: Dict[int, List[int]], iteration: int
+    ) -> Dict[int, int]:
+        """Each input accepts one granting output; updates pointers."""
+        accepts: Dict[int, int] = {}
+        for inp, outs in grants.items():
+            ptr = self._accept_ptr[inp]
+            chosen = min(outs, key=lambda o: (o - ptr) % self.num_outputs)
+            accepts[inp] = chosen
+            if iteration == 0:
+                # iSLIP rule: pointers advance only for first-iteration
+                # accepted grants, which desynchronizes the outputs.
+                self._accept_ptr[inp] = (chosen + 1) % self.num_outputs
+                self._grant_ptr[chosen] = (inp + 1) % self.num_inputs
+        return accepts

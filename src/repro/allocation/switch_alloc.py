@@ -1,0 +1,87 @@
+"""Distributed switch allocation (Section 4.1, Figure 6).
+
+The output side of the paper's three-stage switch allocator: one
+arbiter per output, each composed of local m-input arbiters and a
+global arbiter over the k/m local winners.  ``OutputArbiterBank`` owns
+the k per-output arbiters (hierarchical, or dual prioritized arbiters
+per Section 4.4) and answers "which requesting input wins output o this
+cycle".
+
+The input side (SA1, one request per input controller per cycle) and
+the wire-stage latency are modeled in the routers with per-input
+round-robin arbiters and a :class:`~repro.core.pipeline.DelayLine`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.arbiter import HierarchicalArbiter, PriorityArbiter
+
+
+class OutputArbiterBank:
+    """k distributed output arbiters with local/global structure.
+
+    Args:
+        num_outputs: Number of output ports (k).
+        num_inputs: Number of request lines per output (k).
+        group_size: Local arbiter group size m (the paper uses 8).
+        prioritized: Use two arbiters per output so nonspeculative
+            requests always beat speculative ones (Figure 10(b)).
+    """
+
+    def __init__(
+        self,
+        num_outputs: int,
+        num_inputs: int,
+        group_size: int,
+        prioritized: bool = False,
+    ) -> None:
+        self.num_outputs = num_outputs
+        self.num_inputs = num_inputs
+        self.group_size = group_size
+        self.prioritized = prioritized
+        if prioritized:
+            self._arbiters: List[object] = [
+                PriorityArbiter(num_inputs, group_size)
+                for _ in range(num_outputs)
+            ]
+        else:
+            self._arbiters = [
+                HierarchicalArbiter(num_inputs, group_size)
+                for _ in range(num_outputs)
+            ]
+
+    def grant(
+        self,
+        output: int,
+        requests: Sequence[Tuple[int, bool]],
+    ) -> Optional[int]:
+        """Pick the winning input for ``output``.
+
+        Args:
+            output: Output port index.
+            requests: (input index, speculative?) pairs requesting the
+                output this cycle.
+
+        Returns:
+            The granted input index, or None when no request.
+        """
+        if not requests:
+            return None
+        arb = self._arbiters[output]
+        if isinstance(arb, PriorityArbiter):
+            nonspec = [False] * self.num_inputs
+            spec = [False] * self.num_inputs
+            for i, speculative in requests:
+                if speculative:
+                    spec[i] = True
+                else:
+                    nonspec[i] = True
+            winner, _ = arb.arbitrate(nonspec, spec)
+            return winner
+        lines = [False] * self.num_inputs
+        for i, _speculative in requests:
+            lines[i] = True
+        assert isinstance(arb, HierarchicalArbiter)
+        return arb.arbitrate(lines)

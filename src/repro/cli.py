@@ -1,0 +1,300 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's main experiments a shell entry point:
+
+* ``sweep`` — latency-load curve for one switch organization;
+* ``saturate`` — saturation throughput for one or more organizations;
+* ``radix`` — the Section 2 analytical optimum for a technology point;
+* ``network`` — the Figure 19 Clos-network comparison;
+* ``area`` — storage/area comparison between organizations.
+
+Examples::
+
+    python -m repro sweep --arch hierarchical --radix 32 --plot
+    python -m repro saturate --arch all --pattern bursty
+    python -m repro radix --bandwidth 20e12 --delay 5e-9 --nodes 2048 --packet 256
+    python -m repro network --load 0.5
+    python -m repro area --radix 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from .core.config import RouterConfig
+from .core.pipeline_diagram import compare as compare_pipelines
+from .harness.experiment import (
+    SweepSettings,
+    run_load_sweep,
+    saturation_throughput,
+)
+from .harness.plot import plot_sweeps
+from .harness.report import format_sweeps, format_table
+from .models.area import AreaModel, storage_bits
+from .models.latency import optimal_radix, packet_latency
+from .models.technology import Technology
+from .network.netsim import ClosNetworkSimulation, NetworkConfig
+from .routers.baseline import BaselineRouter
+from .routers.buffered import BufferedCrossbarRouter
+from .routers.distributed import DistributedRouter
+from .routers.hierarchical import HierarchicalCrossbarRouter
+from .routers.shared_buffer import SharedBufferCrossbarRouter
+from .routers.voq import VoqRouter
+from .traffic.patterns import (
+    Diagonal,
+    Hotspot,
+    TrafficPattern,
+    UniformRandom,
+    WorstCaseHierarchical,
+)
+
+ARCHITECTURES: Dict[str, Callable] = {
+    "baseline": BaselineRouter,
+    "distributed": DistributedRouter,
+    "buffered": BufferedCrossbarRouter,
+    "shared-buffer": SharedBufferCrossbarRouter,
+    "hierarchical": HierarchicalCrossbarRouter,
+    "voq": VoqRouter,
+}
+
+#: Architecture key used by the area model for each CLI name.
+AREA_KEYS = {
+    "baseline": "baseline",
+    "distributed": "distributed",
+    "buffered": "buffered",
+    "shared-buffer": "shared_buffer",
+    "hierarchical": "hierarchical",
+    "voq": "voq",
+}
+
+
+def _make_pattern(name: str, config: RouterConfig) -> TrafficPattern:
+    k = config.radix
+    if name == "uniform":
+        return UniformRandom(k)
+    if name == "diagonal":
+        return Diagonal(k)
+    if name == "hotspot":
+        return Hotspot(k, num_hotspots=min(8, k))
+    if name == "worst-case":
+        return WorstCaseHierarchical(k, config.subswitch_size)
+    raise ValueError(f"unknown pattern {name!r}")
+
+
+def _config_from_args(args: argparse.Namespace) -> RouterConfig:
+    return RouterConfig(
+        radix=args.radix,
+        num_vcs=args.vcs,
+        subswitch_size=args.subswitch,
+        local_group_size=min(8, args.radix),
+        vc_allocator=args.vc_alloc,
+        input_buffer_depth=max(16, 4 * args.packet_size),
+        seed=args.seed,
+    )
+
+
+def _settings(args: argparse.Namespace) -> SweepSettings:
+    return SweepSettings(
+        warmup=args.warmup, measure=args.measure, drain=args.drain
+    )
+
+
+def _add_router_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--radix", type=int, default=32)
+    sub.add_argument("--vcs", type=int, default=4)
+    sub.add_argument("--subswitch", type=int, default=8)
+    sub.add_argument("--vc-alloc", choices=("cva", "ova"), default="cva")
+    sub.add_argument("--packet-size", type=int, default=1)
+    sub.add_argument(
+        "--pattern",
+        choices=("uniform", "diagonal", "hotspot", "worst-case"),
+        default="uniform",
+    )
+    sub.add_argument("--injection", choices=("bernoulli", "onoff"),
+                     default="bernoulli")
+    sub.add_argument("--warmup", type=int, default=800)
+    sub.add_argument("--measure", type=int, default=1200)
+    sub.add_argument("--drain", type=int, default=20000)
+    sub.add_argument("--seed", type=int, default=1)
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    cls = ARCHITECTURES[args.arch]
+    loads = [float(x) for x in args.loads.split(",")]
+    sweep = run_load_sweep(
+        cls, config, loads, label=args.arch,
+        packet_size=args.packet_size,
+        pattern_factory=lambda c: _make_pattern(args.pattern, c),
+        injection=args.injection,
+        settings=_settings(args),
+    )
+    print(format_sweeps(
+        [sweep],
+        title=f"{args.arch} @ radix {config.radix}, pattern {args.pattern}",
+    ))
+    if args.plot:
+        print()
+        print(plot_sweeps([sweep]))
+    return 0
+
+
+def cmd_saturate(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    names = (
+        list(ARCHITECTURES) if args.arch == "all" else [args.arch]
+    )
+    settings = SweepSettings(
+        warmup=args.warmup, measure=args.measure, drain=100
+    )
+    rows = []
+    for name in names:
+        thpt = saturation_throughput(
+            ARCHITECTURES[name], config,
+            packet_size=args.packet_size,
+            pattern_factory=lambda c: _make_pattern(args.pattern, c),
+            injection=args.injection,
+            settings=settings,
+        )
+        rows.append((name, f"{thpt:.3f}"))
+    print(format_table(
+        ["architecture", "saturation throughput"], rows,
+        title=f"radix {config.radix}, pattern {args.pattern}, "
+              f"{args.packet_size}-flit packets",
+    ))
+    return 0
+
+
+def cmd_radix(args: argparse.Namespace) -> int:
+    tech = Technology(
+        "cli", args.bandwidth, args.delay, args.nodes, args.packet, 0
+    )
+    k_star = optimal_radix(tech)
+    print(f"aspect ratio A = {tech.aspect_ratio:.1f}")
+    print(f"latency-optimal radix k* = {k_star}")
+    print(f"latency at k*: {packet_latency(k_star, tech) * 1e9:.1f} ns")
+    return 0
+
+
+def cmd_network(args: argparse.Namespace) -> int:
+    rows = []
+    for name, radix, levels in (
+        ("high-radix", args.high_radix, args.high_levels),
+        ("low-radix", args.low_radix, args.low_levels),
+    ):
+        cfg = NetworkConfig(radix=radix, levels=levels)
+        sim = ClosNetworkSimulation(cfg, args.load)
+        r = sim.run(warmup=args.warmup, measure=args.measure,
+                    drain=args.drain)
+        rows.append((
+            name, radix, 2 * levels - 1, sim.topology.num_hosts,
+            f"{r.avg_latency:.1f}", f"{r.throughput:.3f}",
+        ))
+    print(format_table(
+        ["network", "radix", "stages", "hosts", "avg latency",
+         "throughput"],
+        rows,
+        title=f"Clos comparison at load {args.load}",
+    ))
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    config = RouterConfig(
+        radix=args.radix, subswitch_size=args.subswitch,
+        sa_latency=args.sa_latency, flit_cycles=args.flit_cycles,
+    )
+    print(compare_pipelines(config))
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    config = RouterConfig(
+        radix=args.radix, num_vcs=args.vcs, subswitch_size=args.subswitch
+    )
+    model = AreaModel()
+    rows = []
+    for name, key in AREA_KEYS.items():
+        bits = storage_bits(key, config)
+        rows.append((
+            name, f"{bits:,}", f"{model.storage_area(bits):.1f}",
+            f"{model.total_area(key, config):.1f}",
+        ))
+    print(format_table(
+        ["architecture", "storage (bits)", "storage area (mm^2)",
+         "total area (mm^2)"],
+        rows,
+        title=f"radix {args.radix}, v={args.vcs}, p={args.subswitch}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="High-radix router microarchitecture experiments "
+                    "(Kim, Dally, Towles, Gupta; ISCA 2005).",
+    )
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subs.add_parser("sweep", help="latency-load curve")
+    sweep.add_argument("--arch", choices=ARCHITECTURES, default="hierarchical")
+    sweep.add_argument("--loads", default="0.1,0.3,0.5,0.7,0.9")
+    sweep.add_argument("--plot", action="store_true",
+                       help="also render an ASCII plot")
+    _add_router_args(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    sat = subs.add_parser("saturate", help="saturation throughput")
+    sat.add_argument("--arch", choices=list(ARCHITECTURES) + ["all"],
+                     default="all")
+    _add_router_args(sat)
+    sat.set_defaults(func=cmd_saturate)
+
+    radix = subs.add_parser("radix", help="Section 2 optimal radix")
+    radix.add_argument("--bandwidth", type=float, required=True,
+                       help="router bandwidth, bits/s")
+    radix.add_argument("--delay", type=float, required=True,
+                       help="per-hop router delay, s")
+    radix.add_argument("--nodes", type=int, required=True)
+    radix.add_argument("--packet", type=int, required=True,
+                       help="packet length, bits")
+    radix.set_defaults(func=cmd_radix)
+
+    net = subs.add_parser("network", help="Figure 19 Clos comparison")
+    net.add_argument("--load", type=float, default=0.5)
+    net.add_argument("--high-radix", type=int, default=16)
+    net.add_argument("--high-levels", type=int, default=2)
+    net.add_argument("--low-radix", type=int, default=8)
+    net.add_argument("--low-levels", type=int, default=3)
+    net.add_argument("--warmup", type=int, default=600)
+    net.add_argument("--measure", type=int, default=800)
+    net.add_argument("--drain", type=int, default=8000)
+    net.set_defaults(func=cmd_network)
+
+    pipe = subs.add_parser("pipeline",
+                           help="render the Figure 5/7 pipeline diagrams")
+    pipe.add_argument("--radix", type=int, default=64)
+    pipe.add_argument("--subswitch", type=int, default=8)
+    pipe.add_argument("--sa-latency", type=int, default=3)
+    pipe.add_argument("--flit-cycles", type=int, default=4)
+    pipe.set_defaults(func=cmd_pipeline)
+
+    area = subs.add_parser("area", help="storage/area comparison")
+    area.add_argument("--radix", type=int, default=64)
+    area.add_argument("--vcs", type=int, default=4)
+    area.add_argument("--subswitch", type=int, default=8)
+    area.set_defaults(func=cmd_area)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

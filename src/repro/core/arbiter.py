@@ -1,0 +1,234 @@
+"""Arbiters.
+
+Section 4.1 of the paper builds its distributed allocators out of small
+round-robin arbiters: "to ensure fairness, the arbiter at each stage
+maintains a priority pointer which rotates in a round-robin manner
+based on the requests."
+
+``RoundRobinArbiter`` is that primitive.  ``HierarchicalArbiter``
+composes a layer of local arbiters (one per group of ``group_size``
+requesters) with a global arbiter across groups — the local/global
+output arbitration of Figure 6.  ``PriorityArbiter`` implements the
+two-class (nonspeculative over speculative) arbitration of Figure 10(b).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class RoundRobinArbiter:
+    """Round-robin arbiter over ``size`` request lines.
+
+    The priority pointer advances to one past the winner only when a
+    grant is issued, which is the rotation rule the paper relies on for
+    fairness.
+    """
+
+    __slots__ = ("size", "_ptr")
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"arbiter size must be >= 1, got {size}")
+        self.size = size
+        self._ptr = 0
+
+    @property
+    def pointer(self) -> int:
+        return self._ptr
+
+    def arbitrate(self, requests: Sequence[bool], advance: bool = True) -> Optional[int]:
+        """Grant one of the asserted ``requests``.
+
+        Args:
+            requests: One boolean per request line.
+            advance: Rotate the priority pointer past the winner.  Pass
+                False for speculative grants whose pointer update must
+                be deferred (Section 4.4).
+
+        Returns:
+            Index of the granted requester, or None if no request.
+        """
+        if len(requests) != self.size:
+            raise ValueError(
+                f"expected {self.size} request lines, got {len(requests)}"
+            )
+        for offset in range(self.size):
+            idx = (self._ptr + offset) % self.size
+            if requests[idx]:
+                if advance:
+                    self._ptr = (idx + 1) % self.size
+                return idx
+        return None
+
+    def commit(self, winner: int) -> None:
+        """Rotate the pointer past ``winner`` (deferred pointer update)."""
+        if not 0 <= winner < self.size:
+            raise ValueError(f"winner {winner} out of range 0..{self.size - 1}")
+        self._ptr = (winner + 1) % self.size
+
+
+class HierarchicalArbiter:
+    """Local/global two-stage arbiter of Figure 6.
+
+    ``size`` requesters are split into groups of ``group_size``.  A
+    local round-robin arbiter picks at most one winner per group; a
+    global round-robin arbiter then picks one group.  For very high
+    radix the paper notes the structure extends to more stages; two
+    stages suffice for radix 64 with m=8.
+    """
+
+    __slots__ = ("size", "group_size", "_locals", "_global")
+
+    def __init__(self, size: int, group_size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.size = size
+        self.group_size = min(group_size, size)
+        num_groups = (size + self.group_size - 1) // self.group_size
+        self._locals = [
+            RoundRobinArbiter(min(self.group_size, size - g * self.group_size))
+            for g in range(num_groups)
+        ]
+        self._global = RoundRobinArbiter(num_groups)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._locals)
+
+    def arbitrate(self, requests: Sequence[bool]) -> Optional[int]:
+        """Grant one requester via local-then-global arbitration."""
+        if len(requests) != self.size:
+            raise ValueError(
+                f"expected {self.size} request lines, got {len(requests)}"
+            )
+        local_winners: List[Optional[int]] = []
+        for g, local in enumerate(self._locals):
+            base = g * self.group_size
+            group_reqs = requests[base : base + local.size]
+            # Do not advance local pointers until the global winner is
+            # known; only the group that actually transmits rotates.
+            local_winners.append(local.arbitrate(group_reqs, advance=False))
+        group_requests = [w is not None for w in local_winners]
+        winning_group = self._global.arbitrate(group_requests)
+        if winning_group is None:
+            return None
+        local_idx = local_winners[winning_group]
+        assert local_idx is not None
+        self._locals[winning_group].commit(local_idx)
+        return winning_group * self.group_size + local_idx
+
+
+class PriorityArbiter:
+    """Two-class arbiter prioritizing nonspeculative requests.
+
+    Figure 10(b): separate arbiters for speculative and nonspeculative
+    requests; a speculative request is granted only when there are no
+    nonspeculative requests.  "The priority pointer of the speculative
+    switch arbiter is only updated after the speculative request is
+    granted (i.e. when there are no nonspeculative requests)."
+    """
+
+    __slots__ = ("size", "group_size", "_nonspec", "_spec")
+
+    def __init__(self, size: int, group_size: Optional[int] = None) -> None:
+        if group_size is None:
+            self._nonspec: "HierarchicalArbiter | RoundRobinArbiter" = (
+                RoundRobinArbiter(size)
+            )
+            self._spec: "HierarchicalArbiter | RoundRobinArbiter" = (
+                RoundRobinArbiter(size)
+            )
+        else:
+            self._nonspec = HierarchicalArbiter(size, group_size)
+            self._spec = HierarchicalArbiter(size, group_size)
+        self.size = size
+        self.group_size = group_size
+
+    def arbitrate(
+        self,
+        nonspec_requests: Sequence[bool],
+        spec_requests: Sequence[bool],
+    ) -> "tuple[Optional[int], bool]":
+        """Grant a nonspeculative request if any, else a speculative one.
+
+        Returns:
+            (winner index or None, True if the grant was speculative).
+        """
+        winner = self._nonspec.arbitrate(nonspec_requests)
+        if winner is not None:
+            return winner, False
+        winner = self._spec.arbitrate(spec_requests)
+        return winner, winner is not None
+
+
+class MultiStageArbiter:
+    """Arbiter tree with an arbitrary number of local stages.
+
+    Section 4.1: "for very high-radix routers, the two-stage output
+    arbiter can be extended to a larger number of stages" so that each
+    stage's fan-in fits in a clock cycle.  ``group_sizes`` lists the
+    fan-in of each local stage from the leaves up; a final global
+    arbiter covers whatever remains.  ``MultiStageArbiter(64, [8])``
+    is exactly the two-stage :class:`HierarchicalArbiter` of Figure 6;
+    ``MultiStageArbiter(512, [8, 8])`` adds a third stage.
+
+    As in the two-stage arbiter, only the arbiters on the winning path
+    rotate their pointers.
+    """
+
+    def __init__(self, size: int, group_sizes: Sequence[int]) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if not group_sizes:
+            raise ValueError("group_sizes must be non-empty")
+        for g in group_sizes:
+            if g < 1:
+                raise ValueError(f"group sizes must be >= 1, got {g}")
+        self.size = size
+        self.group_sizes = tuple(group_sizes)
+        first = min(group_sizes[0], size)
+        num_groups = (size + first - 1) // first
+        self._locals = [
+            RoundRobinArbiter(min(first, size - g * first))
+            for g in range(num_groups)
+        ]
+        self._first = first
+        if len(group_sizes) == 1 or num_groups == 1:
+            self._upper: "MultiStageArbiter | RoundRobinArbiter" = (
+                RoundRobinArbiter(num_groups)
+            )
+        else:
+            self._upper = MultiStageArbiter(num_groups, group_sizes[1:])
+
+    @property
+    def num_stages(self) -> int:
+        """Arbitration stages including the final global one."""
+        if isinstance(self._upper, RoundRobinArbiter):
+            return 2
+        return 1 + self._upper.num_stages
+
+    def arbitrate(self, requests: Sequence[bool]) -> Optional[int]:
+        """Grant one requester through every stage of the tree."""
+        if len(requests) != self.size:
+            raise ValueError(
+                f"expected {self.size} request lines, got {len(requests)}"
+            )
+        local_winners: List[Optional[int]] = []
+        for g, local in enumerate(self._locals):
+            base = g * self._first
+            group_reqs = requests[base : base + local.size]
+            local_winners.append(local.arbitrate(group_reqs, advance=False))
+        group_requests = [w is not None for w in local_winners]
+        if isinstance(self._upper, RoundRobinArbiter):
+            winning_group = self._upper.arbitrate(group_requests)
+        else:
+            winning_group = self._upper.arbitrate(group_requests)
+        if winning_group is None:
+            return None
+        local_idx = local_winners[winning_group]
+        assert local_idx is not None
+        self._locals[winning_group].commit(local_idx)
+        return winning_group * self._first + local_idx

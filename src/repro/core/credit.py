@@ -1,0 +1,138 @@
+"""Credit-based flow control.
+
+Section 5.2 of the paper: "each input keeps a separate free buffer
+counter for each of the crosspoint buffers in its row.  For each flit
+sent to one of these buffers, the corresponding free count is
+decremented...  when a flit departs a crosspoint buffer, a credit is
+returned to increment the input's free buffer count."
+
+``CreditCounter`` is the per-buffer free count kept at the sender.
+``CreditReturnBus`` models the shared per-input-row credit return bus:
+all crosspoints on a row share one bus, a single credit can be returned
+per cycle, and crosspoints that lose the bus arbitration retry on later
+cycles.  ``DelayedCreditPipe`` models a fixed credit wire delay for the
+ideal (dedicated-wire) comparison.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Tuple
+
+
+class CreditCounter:
+    """Free-slot counter for one downstream buffer, kept at the sender."""
+
+    __slots__ = ("capacity", "_free")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._free = capacity
+
+    @property
+    def free(self) -> int:
+        return self._free
+
+    @property
+    def available(self) -> bool:
+        return self._free > 0
+
+    def consume(self) -> None:
+        """Spend one credit (a flit was sent downstream)."""
+        if self._free <= 0:
+            raise RuntimeError("credit underflow: sent a flit without credit")
+        self._free -= 1
+
+    def restore(self) -> None:
+        """Return one credit (a flit departed the downstream buffer)."""
+        if self._free >= self.capacity:
+            raise RuntimeError(
+                "credit overflow: returned more credits than capacity"
+            )
+        self._free += 1
+
+
+class DelayedCreditPipe:
+    """A fixed-latency pipe delivering credits to ``sink`` callbacks.
+
+    Used for the idealized dedicated-wire credit return of Section 5.2
+    and for inter-router credits in the network simulator.
+    """
+
+    __slots__ = ("latency", "_inflight")
+
+    def __init__(self, latency: int) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.latency = latency
+        self._inflight: Deque[Tuple[int, Callable[[], None]]] = deque()
+
+    def send(self, now: int, sink: Callable[[], None]) -> None:
+        """Schedule ``sink()`` to fire ``latency`` cycles from ``now``."""
+        self._inflight.append((now + self.latency, sink))
+
+    def step(self, now: int) -> int:
+        """Deliver all credits due at ``now``; returns how many fired."""
+        fired = 0
+        while self._inflight and self._inflight[0][0] <= now:
+            _, sink = self._inflight.popleft()
+            sink()
+            fired += 1
+        return fired
+
+    def pending(self) -> int:
+        return len(self._inflight)
+
+
+class CreditReturnBus:
+    """Shared credit-return bus for one input row of crosspoints.
+
+    At most one credit crosses the bus per cycle.  Crosspoints holding
+    pending credits arbitrate in round-robin order; a crosspoint that
+    loses simply retries — the paper notes that because each flit takes
+    four cycles to traverse the input row, a loser has three spare
+    cycles to re-arbitrate without hurting throughput.
+    """
+
+    __slots__ = ("num_sources", "latency", "_pending", "_rr", "_pipe")
+
+    def __init__(self, num_sources: int, latency: int = 1) -> None:
+        if num_sources < 1:
+            raise ValueError(f"num_sources must be >= 1, got {num_sources}")
+        self.num_sources = num_sources
+        self.latency = latency
+        # _pending[s] holds callbacks waiting at source s for the bus.
+        self._pending: List[Deque[Callable[[], None]]] = [
+            deque() for _ in range(num_sources)
+        ]
+        self._rr = 0
+        self._pipe = DelayedCreditPipe(latency)
+
+    def post(self, source: int, sink: Callable[[], None]) -> None:
+        """Queue a credit at crosspoint ``source`` for bus arbitration."""
+        self._pending[source].append(sink)
+
+    def step(self, now: int) -> None:
+        """One cycle: grant the bus to one source, deliver due credits."""
+        winner = self._arbitrate()
+        if winner is not None:
+            sink = self._pending[winner].popleft()
+            self._pipe.send(now, sink)
+            self._rr = (winner + 1) % self.num_sources
+        self._pipe.step(now)
+
+    def _arbitrate(self) -> "int | None":
+        for offset in range(self.num_sources):
+            s = (self._rr + offset) % self.num_sources
+            if self._pending[s]:
+                return s
+        return None
+
+    def backlog(self) -> int:
+        """Credits still waiting for the bus (excludes in-flight ones)."""
+        return sum(len(q) for q in self._pending)
+
+    def idle(self) -> bool:
+        return self.backlog() == 0 and self._pipe.pending() == 0

@@ -1,0 +1,42 @@
+"""Measurement harness: Section 4.3 methodology, sweeps, reporting."""
+
+from .experiment import (
+    SweepResult,
+    SweepSettings,
+    SwitchSimulation,
+    find_saturation_load,
+    run_load_sweep,
+    saturation_throughput,
+)
+from .metrics import Histogram, MetricsCollector
+from .parallel import run_load_sweep_parallel
+from .persistence import load_metadata, load_sweeps, save_sweeps
+from .plot import ascii_plot, plot_sweeps
+from .report import format_saturation, format_sweeps, format_table
+from .stats import LatencySample, RunResult, summarize
+from .validation import CheckedRouter, InvariantViolation
+
+__all__ = [
+    "SwitchSimulation",
+    "SweepSettings",
+    "SweepResult",
+    "run_load_sweep",
+    "run_load_sweep_parallel",
+    "saturation_throughput",
+    "find_saturation_load",
+    "LatencySample",
+    "RunResult",
+    "summarize",
+    "format_table",
+    "format_sweeps",
+    "format_saturation",
+    "ascii_plot",
+    "plot_sweeps",
+    "Histogram",
+    "MetricsCollector",
+    "save_sweeps",
+    "load_sweeps",
+    "load_metadata",
+    "CheckedRouter",
+    "InvariantViolation",
+]

@@ -1,0 +1,358 @@
+"""Experiment driver: load-latency sweeps over a single router.
+
+Mirrors the paper's measurement procedure (Section 4.3): the simulator
+is warmed up under load without taking measurements, a sample of
+packets injected during a measurement interval is labeled, and the
+simulation runs until all labeled packets reach their destinations.
+Offered load is expressed as a fraction of switch capacity (one flit
+per ``flit_cycles`` cycles per port); latency is measured from packet
+generation (so source queueing counts) to tail-flit ejection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..core.config import RouterConfig
+from ..routers.base import Router
+from ..traffic.injection import Bernoulli, InjectionProcess, MarkovOnOff
+from ..traffic.patterns import TrafficPattern, UniformRandom
+from ..traffic.source import TrafficSource
+from .stats import LatencySample, RunResult, summarize
+
+RouterFactory = Callable[[RouterConfig], Router]
+PatternFactory = Callable[[RouterConfig], TrafficPattern]
+
+
+def _default_pattern(config: RouterConfig) -> TrafficPattern:
+    return UniformRandom(config.radix)
+
+
+@dataclass
+class SweepSettings:
+    """Timing parameters of a measurement run (in cycles)."""
+
+    warmup: int = 2000
+    measure: int = 2000
+    drain: int = 30000
+    #: Treat the run as saturated when fewer than this fraction of the
+    #: labeled packets drain within the drain budget.
+    min_drain_fraction: float = 0.999
+
+    def scaled(self, factor: float) -> "SweepSettings":
+        """Scale all windows (used by reduced-scale benchmarks)."""
+        return SweepSettings(
+            warmup=max(1, int(self.warmup * factor)),
+            measure=max(1, int(self.measure * factor)),
+            drain=max(1, int(self.drain * factor)),
+            min_drain_fraction=self.min_drain_fraction,
+        )
+
+
+class SwitchSimulation:
+    """Drives one router instance with per-input traffic sources."""
+
+    def __init__(
+        self,
+        router: Router,
+        load: float,
+        packet_size: int = 1,
+        pattern: Optional[TrafficPattern] = None,
+        injection: str = "bernoulli",
+        avg_burst: float = 8.0,
+        seed: Optional[int] = None,
+        record_delivered: bool = False,
+    ) -> None:
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        self.router = router
+        self.config = router.config
+        self.load = load
+        self.packet_size = packet_size
+        seed = self.config.seed if seed is None else seed
+        pattern = pattern or UniformRandom(self.config.radix)
+        packet_rate = load * self.config.capacity_flits_per_cycle / packet_size
+        peak_rate = self.config.capacity_flits_per_cycle / packet_size
+        self.sources: List[TrafficSource] = []
+        for i in range(self.config.radix):
+            proc: InjectionProcess
+            if injection == "bernoulli":
+                proc = Bernoulli(packet_rate)
+            elif injection == "onoff":
+                proc = MarkovOnOff(packet_rate, peak_rate, avg_burst)
+            else:
+                raise ValueError(f"unknown injection kind {injection!r}")
+            self.sources.append(
+                TrafficSource(i, pattern, proc, packet_size, seed)
+            )
+        k = self.config.radix
+        self._next_inject = [0] * k
+        self._packet_vc: List[Optional[int]] = [None] * k
+        self._vc_rr = [0] * k
+        self._measuring = False
+        self._generating = True
+        self._labeled_outstanding = 0
+        self._labeled_total = 0
+        self.sample = LatencySample()
+        self.measured_flits = 0
+        self._count_flits = False
+        self.cycle = 0
+        #: When record_delivered is set, every (flit, eject_cycle) pair
+        #: is retained here for inspection (costs memory on long runs).
+        self.record_delivered = record_delivered
+        self.delivered: List[tuple] = []
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """One simulation cycle: generate, inject, switch, collect."""
+        now = self.cycle
+        if self._generating:
+            for src in self.sources:
+                if (
+                    src.generate(now, self._measuring) is not None
+                    and self._measuring
+                ):
+                    self._labeled_outstanding += 1
+                    self._labeled_total += 1
+        self._inject(now)
+        self.router.step()
+        for flit, eject_cycle in self.router.drain_ejected():
+            if self.record_delivered:
+                self.delivered.append((flit, eject_cycle))
+            if self._count_flits:
+                self.measured_flits += 1
+            if flit.is_tail and flit.measured:
+                self.sample.add(eject_cycle - flit.created_at)
+                self._labeled_outstanding -= 1
+        self.cycle += 1
+
+    def _inject(self, now: int) -> None:
+        """Move flits from source queues into input buffers.
+
+        One flit per ``flit_cycles`` cycles per input (channel
+        bandwidth); each packet is assigned an input VC round-robin
+        among VCs with free buffer space when its head flit enters.
+        """
+        fc = self.config.flit_cycles
+        v = self.config.num_vcs
+        for i, src in enumerate(self.sources):
+            if now < self._next_inject[i]:
+                continue
+            flit = src.head()
+            if flit is None:
+                continue
+            vc = self._packet_vc[i]
+            if flit.is_head and vc is None:
+                vc = self._pick_vc(i)
+                if vc is None:
+                    continue
+                self._packet_vc[i] = vc
+            assert vc is not None
+            if self.router.input_space(i, vc) < 1:
+                continue
+            flit.vc = vc
+            src.pop()
+            self.router.accept(i, flit)
+            self._next_inject[i] = now + fc
+            if flit.is_tail:
+                self._packet_vc[i] = None
+
+    def stop_sources(self) -> None:
+        """Stop generating new packets (used to drain the system)."""
+        self._generating = False
+
+    def _pick_vc(self, i: int) -> Optional[int]:
+        v = self.config.num_vcs
+        for offset in range(v):
+            vc = (self._vc_rr[i] + offset) % v
+            if self.router.input_space(i, vc) >= 1:
+                self._vc_rr[i] = (vc + 1) % v
+                return vc
+        return None
+
+    # ------------------------------------------------------------------
+
+    def run(self, settings: Optional[SweepSettings] = None) -> RunResult:
+        """Warm up, measure, drain; return the summarized result."""
+        settings = settings or SweepSettings()
+        for _ in range(settings.warmup):
+            self.step()
+        self._measuring = True
+        self._count_flits = True
+        measure_start = self.cycle
+        for _ in range(settings.measure):
+            self.step()
+        self._measuring = False
+        measured_cycles = self.cycle - measure_start
+        self._count_flits = False
+        drained = 0
+        while self._labeled_outstanding > 0 and drained < settings.drain:
+            self.step()
+            drained += 1
+        undelivered = self._labeled_outstanding
+        delivered_fraction = (
+            1.0
+            if self._labeled_total == 0
+            else 1.0 - undelivered / self._labeled_total
+        )
+        saturated = delivered_fraction < settings.min_drain_fraction
+        result = summarize(
+            offered_load=self.load,
+            sample=self.sample,
+            measured_flits=self.measured_flits,
+            measured_cycles=measured_cycles,
+            num_ports=self.config.radix,
+            capacity=self.config.capacity_flits_per_cycle,
+            saturated=saturated,
+            cycles=self.cycle,
+        )
+        result.extra["undelivered"] = float(undelivered)
+        result.extra["source_backlog"] = float(
+            sum(s.backlog() for s in self.sources)
+        )
+        return result
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """A load-latency curve for one router configuration."""
+
+    label: str
+    results: List[RunResult] = field(default_factory=list)
+
+    @property
+    def loads(self) -> List[float]:
+        return [r.offered_load for r in self.results]
+
+    @property
+    def latencies(self) -> List[float]:
+        return [r.avg_latency for r in self.results]
+
+    @property
+    def throughputs(self) -> List[float]:
+        return [r.throughput for r in self.results]
+
+    def saturation_throughput(self) -> float:
+        """Largest accepted throughput observed on the curve."""
+        return max((r.throughput for r in self.results), default=0.0)
+
+    def zero_load_latency(self) -> float:
+        """Latency of the lowest-load point on the curve."""
+        if not self.results:
+            return float("nan")
+        return min(self.results, key=lambda r: r.offered_load).avg_latency
+
+
+def run_load_sweep(
+    make_router: RouterFactory,
+    config: RouterConfig,
+    loads: Sequence[float],
+    label: str = "",
+    packet_size: int = 1,
+    pattern_factory: PatternFactory = _default_pattern,
+    injection: str = "bernoulli",
+    avg_burst: float = 8.0,
+    settings: Optional[SweepSettings] = None,
+    seed: Optional[int] = None,
+) -> SweepResult:
+    """Simulate one router at each offered load; returns the curve."""
+    sweep = SweepResult(label=label or type(make_router(config)).__name__)
+    for load in loads:
+        router = make_router(config)
+        sim = SwitchSimulation(
+            router,
+            load=load,
+            packet_size=packet_size,
+            pattern=pattern_factory(config),
+            injection=injection,
+            avg_burst=avg_burst,
+            seed=seed,
+        )
+        sweep.results.append(sim.run(settings))
+    return sweep
+
+
+def saturation_throughput(
+    make_router: RouterFactory,
+    config: RouterConfig,
+    packet_size: int = 1,
+    pattern_factory: PatternFactory = _default_pattern,
+    injection: str = "bernoulli",
+    avg_burst: float = 8.0,
+    settings: Optional[SweepSettings] = None,
+    load: float = 1.0,
+    seed: Optional[int] = None,
+) -> float:
+    """Accepted throughput at (near-)unit offered load."""
+    router = make_router(config)
+    sim = SwitchSimulation(
+        router,
+        load=load,
+        packet_size=packet_size,
+        pattern=pattern_factory(config),
+        injection=injection,
+        avg_burst=avg_burst,
+        seed=seed,
+    )
+    return sim.run(settings).throughput
+
+
+def find_saturation_load(
+    make_router: RouterFactory,
+    config: RouterConfig,
+    packet_size: int = 1,
+    pattern_factory: PatternFactory = _default_pattern,
+    injection: str = "bernoulli",
+    settings: Optional[SweepSettings] = None,
+    tolerance: float = 0.02,
+    seed: Optional[int] = None,
+) -> float:
+    """Binary-search the saturation load of a router configuration.
+
+    A point is *unsaturated* when the accepted throughput tracks the
+    offered load (within ``slack = max(0.03, tolerance)``) and the
+    labeled packets drain — i.e. a steady state exists, which is what
+    the paper's methodology presumes below saturation.  Returns the
+    largest load, within ``tolerance``, that is still unsaturated.
+
+    This is the load at which the latency-load curve turns vertical —
+    the quantity the paper reads off its figures as "saturates at
+    approximately X% of capacity".  It agrees with
+    :func:`saturation_throughput` (accepted throughput at load 1.0) up
+    to the queueing growth near the knee.
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(f"tolerance must be in (0, 1), got {tolerance}")
+    settings = settings or SweepSettings()
+    slack = max(0.03, tolerance)
+
+    def saturated_at(load: float) -> bool:
+        router = make_router(config)
+        sim = SwitchSimulation(
+            router,
+            load=load,
+            packet_size=packet_size,
+            pattern=pattern_factory(config),
+            injection=injection,
+            seed=seed,
+        )
+        result = sim.run(settings)
+        return result.saturated or result.throughput < load - slack
+
+    lo, hi = 0.0, 1.0
+    if not saturated_at(1.0):
+        return 1.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if saturated_at(mid):
+            hi = mid
+        else:
+            lo = mid
+    return lo

@@ -1,0 +1,96 @@
+"""Saving and loading experiment results as JSON.
+
+Sweeps at the paper's scale take real time in pure Python, so the
+harness supports persisting :class:`~repro.harness.stats.RunResult`
+curves to disk and reloading them for later analysis or plotting —
+the benchmark result tables under ``benchmarks/results/`` are the
+rendered form, these JSON files are the raw one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .experiment import SweepResult
+from .stats import RunResult
+
+#: Format marker written into every file for forward compatibility.
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> Dict:
+    """Serialize one RunResult to plain JSON-compatible types."""
+    return {
+        "offered_load": result.offered_load,
+        "avg_latency": result.avg_latency,
+        "p99_latency": result.p99_latency,
+        "max_latency": result.max_latency,
+        "throughput": result.throughput,
+        "packets_measured": result.packets_measured,
+        "cycles": result.cycles,
+        "saturated": result.saturated,
+        "extra": dict(result.extra),
+    }
+
+
+def result_from_dict(data: Dict) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    return RunResult(
+        offered_load=data["offered_load"],
+        avg_latency=data["avg_latency"],
+        p99_latency=data["p99_latency"],
+        max_latency=data["max_latency"],
+        throughput=data["throughput"],
+        packets_measured=data["packets_measured"],
+        cycles=data["cycles"],
+        saturated=data["saturated"],
+        extra=dict(data.get("extra", {})),
+    )
+
+
+def sweep_to_dict(sweep: SweepResult) -> Dict:
+    return {
+        "label": sweep.label,
+        "results": [result_to_dict(r) for r in sweep.results],
+    }
+
+
+def sweep_from_dict(data: Dict) -> SweepResult:
+    return SweepResult(
+        label=data["label"],
+        results=[result_from_dict(r) for r in data["results"]],
+    )
+
+
+def save_sweeps(
+    path: Union[str, Path],
+    sweeps: List[SweepResult],
+    metadata: Dict = None,
+) -> None:
+    """Write sweeps (plus free-form metadata) to a JSON file."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "metadata": metadata or {},
+        "sweeps": [sweep_to_dict(s) for s in sweeps],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_sweeps(path: Union[str, Path]) -> List[SweepResult]:
+    """Read sweeps from a JSON file written by :func:`save_sweeps`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result file version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return [sweep_from_dict(s) for s in payload["sweeps"]]
+
+
+def load_metadata(path: Union[str, Path]) -> Dict:
+    """Read only the metadata block of a result file."""
+    payload = json.loads(Path(path).read_text())
+    return payload.get("metadata", {})

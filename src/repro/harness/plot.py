@@ -1,0 +1,139 @@
+"""ASCII plotting for latency-load curves and sweeps.
+
+The paper communicates nearly all of its evaluation through
+latency-vs-offered-load plots; this module renders the same curves as
+terminal-friendly ASCII so examples and benchmark outputs can show the
+*shape* (flat region, knee, saturation wall) and not just a table of
+numbers.  No plotting dependency is required anywhere in the package.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .experiment import SweepResult
+
+#: Marker characters assigned to curves in order.
+MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 60,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    y_max: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render (x, y) series as an ASCII scatter/line chart.
+
+    Args:
+        series: (label, xs, ys) triples; NaN/inf points are skipped.
+        width, height: Plot body size in characters.
+        x_label, y_label: Axis captions.
+        y_max: Clip the y axis (useful when saturated points explode).
+        title: Optional heading.
+
+    Returns:
+        Multi-line string.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+    points = []
+    for idx, (label, xs, ys) in enumerate(series):
+        if len(xs) != len(ys):
+            raise ValueError(f"series {label!r}: x and y lengths differ")
+        marker = MARKERS[idx % len(MARKERS)]
+        for x, y in zip(xs, ys):
+            if math.isfinite(x) and math.isfinite(y):
+                points.append((x, y, marker))
+    if not points:
+        return "(no data)"
+
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = 0.0
+    y_hi = y_max if y_max is not None else max(p[1] for p in points)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        if y > y_hi:
+            y = y_hi
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = height - 1 - round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max(len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}"))
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = f"{y_hi:.4g}".rjust(label_w)
+        elif r == height - 1:
+            tick = f"{y_lo:.4g}".rjust(label_w)
+        else:
+            tick = " " * label_w
+        lines.append(f"{tick} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.4g}".ljust(width - 8) + f"{x_hi:.4g}".rjust(8)
+    lines.append(" " * (label_w + 2) + x_axis)
+    if x_label or y_label:
+        lines.append(
+            " " * (label_w + 2)
+            + (f"x: {x_label}" if x_label else "")
+            + (f"   y: {y_label}" if y_label else "")
+        )
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}"
+        for i, (label, _, _) in enumerate(series)
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)
+
+
+def plot_sweeps(
+    sweeps: Sequence[SweepResult],
+    width: int = 60,
+    height: int = 18,
+    y_max: Optional[float] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Plot latency-load curves for one or more sweeps.
+
+    Saturated points are clipped at ``y_max`` (default: 3x the largest
+    unsaturated latency) so the pre-saturation shape stays readable —
+    the same visual convention as the paper's figures, whose curves
+    shoot off the top of the axis at saturation.
+    """
+    if y_max is None:
+        finite = [
+            r.avg_latency
+            for s in sweeps
+            for r in s.results
+            if not r.saturated and math.isfinite(r.avg_latency)
+        ]
+        y_max = 3 * max(finite) if finite else None
+    series = [
+        (
+            s.label,
+            [r.offered_load for r in s.results],
+            [r.avg_latency for r in s.results],
+        )
+        for s in sweeps
+    ]
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        x_label="offered load",
+        y_label="avg latency (cycles)",
+        y_max=y_max,
+        title=title,
+    )

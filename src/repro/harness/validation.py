@@ -1,0 +1,162 @@
+"""Runtime invariant checking for router models.
+
+``CheckedRouter`` wraps any :class:`~repro.routers.base.Router` and
+verifies, as the simulation runs, the contracts that every switch
+organization must keep:
+
+* **conservation** — a flit accepted is ejected exactly once, and
+  never invented;
+* **per-packet order** — flit indices of each packet eject in order;
+* **output VC discipline** — between a packet's head and tail no other
+  packet ejects on the same (output, output VC);
+* **output bandwidth** — at most one flit per ``flit_cycles`` cycles
+  per output;
+* **destination correctness** — flits leave on the output they asked
+  for.
+
+Violations raise :class:`InvariantViolation` at the offending cycle,
+which turns subtle microarchitecture bugs (double grants, credit leaks,
+VC interleaving) into immediate, located failures.  The wrapper is used
+by the test suite and is handy when developing a new router model:
+
+    router = CheckedRouter(MyNewRouter(config))
+    sim = SwitchSimulation(router, load=0.7)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.flit import Flit
+from ..routers.base import Router, RouterStats
+
+
+class InvariantViolation(AssertionError):
+    """A router broke one of the external-contract invariants."""
+
+
+class CheckedRouter:
+    """Transparent invariant-checking proxy around a Router."""
+
+    def __init__(self, inner: Router) -> None:
+        self.inner = inner
+        self._accepted: Dict[int, int] = {}  # flit id -> dest
+        self._next_index: Dict[int, int] = {}  # packet id -> flit index
+        self._open_vc: Dict[Tuple[int, Optional[int]], int] = {}
+        self._last_eject: Dict[int, int] = {}
+        self.violations_checked = 0
+
+    # -- delegated interface -------------------------------------------
+
+    @property
+    def config(self):
+        return self.inner.config
+
+    @property
+    def cycle(self) -> int:
+        return self.inner.cycle
+
+    @property
+    def stats(self) -> RouterStats:
+        return self.inner.stats
+
+    def input_space(self, port: int, vc: int) -> int:
+        return self.inner.input_space(port, vc)
+
+    def occupancy(self) -> int:
+        return self.inner.occupancy()
+
+    def idle(self) -> bool:
+        return self.inner.idle()
+
+    # -- checked operations --------------------------------------------
+
+    def accept(self, port: int, flit: Flit) -> None:
+        if id(flit) in self._accepted:
+            raise InvariantViolation(
+                f"flit {flit.packet_id}:{flit.flit_index} accepted twice"
+            )
+        self._accepted[id(flit)] = flit.dest
+        self.inner.accept(port, flit)
+
+    def step(self) -> None:
+        self.inner.step()
+
+    def drain_ejected(self) -> List[Tuple[Flit, int]]:
+        ejected = self.inner.drain_ejected()
+        for flit, cycle in ejected:
+            self._check_ejection(flit, cycle)
+        return ejected
+
+    # -- invariants ------------------------------------------------------
+
+    def _check_ejection(self, flit: Flit, cycle: int) -> None:
+        self.violations_checked += 1
+        key = id(flit)
+        if key not in self._accepted:
+            raise InvariantViolation(
+                f"cycle {cycle}: flit {flit.packet_id}:{flit.flit_index} "
+                "ejected but never accepted (or ejected twice)"
+            )
+        dest = self._accepted.pop(key)
+        if flit.dest != dest:
+            raise InvariantViolation(
+                f"cycle {cycle}: flit {flit.packet_id} requested output "
+                f"{dest} but left on {flit.dest}"
+            )
+        expected = self._next_index.get(flit.packet_id, 0)
+        if flit.flit_index != expected:
+            raise InvariantViolation(
+                f"cycle {cycle}: packet {flit.packet_id} delivered flit "
+                f"{flit.flit_index}, expected {expected}"
+            )
+        self._next_index[flit.packet_id] = expected + 1
+        if flit.is_tail:
+            del self._next_index[flit.packet_id]
+        self._check_vc_discipline(flit, cycle)
+        self._check_bandwidth(flit, cycle)
+
+    def _check_vc_discipline(self, flit: Flit, cycle: int) -> None:
+        key = (flit.dest, flit.out_vc)
+        owner = self._open_vc.get(key)
+        if flit.is_head:
+            if owner is not None:
+                raise InvariantViolation(
+                    f"cycle {cycle}: packet {flit.packet_id} head on "
+                    f"{key} while packet {owner} is still open"
+                )
+            self._open_vc[key] = flit.packet_id
+        elif owner != flit.packet_id:
+            raise InvariantViolation(
+                f"cycle {cycle}: flit of packet {flit.packet_id} on {key} "
+                f"owned by {owner}"
+            )
+        if flit.is_tail:
+            self._open_vc.pop(key, None)
+
+    def _check_bandwidth(self, flit: Flit, cycle: int) -> None:
+        last = self._last_eject.get(flit.dest)
+        fc = self.inner.config.flit_cycles
+        if last is not None and cycle - last < fc:
+            raise InvariantViolation(
+                f"cycle {cycle}: output {flit.dest} ejected flits "
+                f"{cycle - last} cycles apart (minimum {fc})"
+            )
+        self._last_eject[flit.dest] = cycle
+
+    # -- reporting -------------------------------------------------------
+
+    def pending_flits(self) -> int:
+        """Accepted flits not yet ejected (should reach 0 at drain)."""
+        return len(self._accepted)
+
+    def assert_drained(self) -> None:
+        """Raise unless every accepted flit has been delivered."""
+        if self._accepted:
+            raise InvariantViolation(
+                f"{len(self._accepted)} flits accepted but never delivered"
+            )
+        if self._open_vc:
+            raise InvariantViolation(
+                f"output VCs still open after drain: {self._open_vc}"
+            )

@@ -1,0 +1,205 @@
+"""Router area models (Figures 15 and 17(d)).
+
+Two related questions from the paper:
+
+* **Figure 15** — for the fully buffered crossbar in a 0.10 um process
+  with v = 4, how do *storage* area (crosspoint + input buffers) and
+  *wire* area (the crossbar datapath plus control/credit wiring) grow
+  with radix?  The crossbar's datapath area is constant (total
+  bandwidth is held constant as radix grows) while control wiring grows
+  with k; storage grows as k^2 and overtakes wire area beyond radix
+  ~50.
+* **Figure 17(d)** — measured purely in storage bits, how do the fully
+  buffered crossbar and hierarchical crossbars of various subswitch
+  sizes compare?  Fully buffered storage is O(v k^2 d); a hierarchical
+  crossbar needs only O(v k^2 d / p), and at k = 64, p = 8 (counting
+  total router area, storage + wire) saves ~40% versus fully buffered.
+
+Absolute mm^2 values in the paper come from the authors' layout
+estimates; here the per-bit and per-track constants are calibrated so
+that the storage/wire crossover lands at radix ~50 for the fully
+buffered design (the paper's qualitative anchor), and all comparisons
+between architectures are exact bit counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.config import RouterConfig
+
+#: Flit width in bits: the paper's multiprocessor packets are 8-16 B
+#: and its 2003 anchor uses 128-bit packets; one flit is taken as 64
+#: bits of payload plus sideband, stored as 64 bits.
+DEFAULT_FLIT_BITS = 64
+
+
+# ----------------------------------------------------------------------
+# Storage bit counts (exact, architecture by architecture)
+# ----------------------------------------------------------------------
+
+
+def input_buffer_bits(config: RouterConfig, flit_bits: int = DEFAULT_FLIT_BITS) -> int:
+    """Input buffers common to every organization: k * v * depth flits."""
+    return config.radix * config.num_vcs * config.input_buffer_depth * flit_bits
+
+
+def baseline_storage_bits(
+    config: RouterConfig, flit_bits: int = DEFAULT_FLIT_BITS
+) -> int:
+    """The unbuffered crossbar stores flits only at the inputs."""
+    return input_buffer_bits(config, flit_bits)
+
+
+def fully_buffered_storage_bits(
+    config: RouterConfig, flit_bits: int = DEFAULT_FLIT_BITS
+) -> int:
+    """Input buffers + k^2 crosspoints, each with v per-VC buffers."""
+    k, v, d = config.radix, config.num_vcs, config.crosspoint_buffer_depth
+    return input_buffer_bits(config, flit_bits) + k * k * v * d * flit_bits
+
+
+def shared_buffer_storage_bits(
+    config: RouterConfig, flit_bits: int = DEFAULT_FLIT_BITS
+) -> int:
+    """Section 5.4: one shared buffer per crosspoint (v times smaller)."""
+    k, d = config.radix, config.crosspoint_buffer_depth
+    return input_buffer_bits(config, flit_bits) + k * k * d * flit_bits
+
+
+def voq_storage_bits(
+    config: RouterConfig,
+    flit_bits: int = DEFAULT_FLIT_BITS,
+    voq_depth: int = 4,
+) -> int:
+    """Section 8's VOQ comparison: k^2 v queues at the inputs.
+
+    "VOQ adds O(k^2) buffering and becomes costly, especially as k
+    increases" — the storage mirrors the fully buffered crossbar's,
+    just placed at the inputs instead of the crosspoints.
+    """
+    k, v = config.radix, config.num_vcs
+    return k * k * v * voq_depth * flit_bits
+
+
+def hierarchical_storage_bits(
+    config: RouterConfig, flit_bits: int = DEFAULT_FLIT_BITS
+) -> int:
+    """Input buffers + per-VC buffers at every subswitch boundary.
+
+    (k/p)^2 subswitches, each with p input and p output lanes carrying
+    v VC buffers: total grows as O(v k^2 / p) (Section 6).
+    """
+    k, v, p = config.radix, config.num_vcs, config.subswitch_size
+    s = config.num_subswitches_per_side
+    per_sub = p * v * (config.subswitch_in_depth + config.subswitch_out_depth)
+    return input_buffer_bits(config, flit_bits) + s * s * per_sub * flit_bits
+
+
+def storage_bits(
+    architecture: str,
+    config: RouterConfig,
+    flit_bits: int = DEFAULT_FLIT_BITS,
+) -> int:
+    """Dispatch by architecture name used throughout the benchmarks."""
+    table = {
+        "baseline": baseline_storage_bits,
+        "distributed": baseline_storage_bits,
+        "buffered": fully_buffered_storage_bits,
+        "shared_buffer": shared_buffer_storage_bits,
+        "hierarchical": hierarchical_storage_bits,
+        "voq": voq_storage_bits,
+    }
+    if architecture not in table:
+        raise ValueError(
+            f"unknown architecture {architecture!r}; expected one of "
+            f"{sorted(table)}"
+        )
+    return table[architecture](config, flit_bits)
+
+
+# ----------------------------------------------------------------------
+# Area model (storage + wire), Figure 15
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Converts bit counts and radix into area (mm^2, 0.10 um process).
+
+    Attributes:
+        bit_area_mm2: Area per storage bit, including overhead.
+        crossbar_area_mm2: Fixed datapath area of the crossbar (total
+            bandwidth, and hence datapath width, is held constant as
+            radix changes).
+        control_area_per_port_mm2: Wiring area added per port for
+            request/grant distribution and credit return ("the increase
+            in wire area with radix is due to increased control
+            complexity").
+    """
+
+    bit_area_mm2: float = 2.9e-5
+    crossbar_area_mm2: float = 48.0
+    control_area_per_port_mm2: float = 0.6
+
+    def storage_area(self, bits: int) -> float:
+        if bits < 0:
+            raise ValueError(f"bits must be >= 0, got {bits}")
+        return bits * self.bit_area_mm2
+
+    def wire_area(self, radix: int) -> float:
+        if radix < 2:
+            raise ValueError(f"radix must be >= 2, got {radix}")
+        return self.crossbar_area_mm2 + self.control_area_per_port_mm2 * radix
+
+    def total_area(
+        self,
+        architecture: str,
+        config: RouterConfig,
+        flit_bits: int = DEFAULT_FLIT_BITS,
+    ) -> float:
+        bits = storage_bits(architecture, config, flit_bits)
+        return self.storage_area(bits) + self.wire_area(config.radix)
+
+
+def area_sweep(
+    architecture: str,
+    radices: Sequence[int],
+    base_config: RouterConfig,
+    model: AreaModel = AreaModel(),
+    flit_bits: int = DEFAULT_FLIT_BITS,
+) -> List[Tuple[int, float, float]]:
+    """(k, storage area, wire area) over a radix sweep (Figure 15)."""
+    rows = []
+    for k in radices:
+        cfg = base_config.with_(radix=k)
+        bits = storage_bits(architecture, cfg, flit_bits)
+        rows.append((k, model.storage_area(bits), model.wire_area(k)))
+    return rows
+
+
+def storage_crossover_radix(
+    architecture: str,
+    base_config: RouterConfig,
+    model: AreaModel = AreaModel(),
+    flit_bits: int = DEFAULT_FLIT_BITS,
+    max_radix: int = 512,
+) -> int:
+    """Smallest radix at which storage area exceeds wire area.
+
+    The paper reports ~50 for the fully buffered crossbar with v=4
+    (Figure 15).  Only radices compatible with the configuration's
+    subswitch size are considered.
+    """
+    p = base_config.subswitch_size
+    for k in range(2, max_radix + 1):
+        if k % p != 0 and architecture == "hierarchical":
+            continue
+        cfg = base_config.with_(radix=k) if k % p == 0 else base_config.with_(
+            radix=k, subswitch_size=1
+        )
+        bits = storage_bits(architecture, cfg, flit_bits)
+        if model.storage_area(bits) > model.wire_area(k):
+            return k
+    raise ValueError(f"no crossover up to radix {max_radix}")

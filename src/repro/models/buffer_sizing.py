@@ -1,0 +1,112 @@
+"""Credit-loop buffer sizing (Section 5.2).
+
+"The required size of the crosspoint buffers is determined by the
+credit latency — the latency between when the buffer count is
+decremented at the input and when the credit is returned in an
+unloaded switch."
+
+For a buffer drained at one flit per ``flit_cycles`` cycles to sustain
+full throughput, its depth must cover the credit round trip: the
+forward flit delivery, the wait until the buffer's consumer can next
+accept a flit (up to ``flit_cycles - 1`` cycles of alignment), and the
+credit's return (including any arbitration slack on a shared credit
+bus).  The credit itself is issued the moment the flit *leaves* the
+buffer, so the consumer's own serialization is not part of the loop.
+This module provides that arithmetic, both for the crosspoint buffers
+of the fully buffered crossbar and for generic credit loops (subswitch
+boundaries, network channels), and explains the Figure 14(a) result —
+four-flit buffers suffice for the paper's timing — as a consequence.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.config import RouterConfig
+
+
+def credit_round_trip(
+    forward_latency: int,
+    credit_latency: int,
+    flit_cycles: int,
+    service_wait: Optional[int] = None,
+) -> int:
+    """Cycles from consuming a credit to having it back.
+
+    Args:
+        forward_latency: Cycles for a flit to reach the buffer after
+            the sender spends the credit.
+        credit_latency: Cycles for the returned credit to reach the
+            sender after the flit departs the buffer.
+        flit_cycles: Consumer service period (one flit accepted per
+            ``flit_cycles`` cycles).
+        service_wait: Cycles a flit waits at the buffer head for the
+            consumer; defaults to the worst-case alignment
+            ``flit_cycles - 1``.  Pass 0 for the best case.
+    """
+    if forward_latency < 0 or credit_latency < 0:
+        raise ValueError("latencies must be >= 0")
+    if flit_cycles < 1:
+        raise ValueError(f"flit_cycles must be >= 1, got {flit_cycles}")
+    if service_wait is None:
+        service_wait = flit_cycles - 1
+    if service_wait < 0:
+        raise ValueError(f"service_wait must be >= 0, got {service_wait}")
+    return forward_latency + service_wait + credit_latency
+
+
+def required_depth(
+    forward_latency: int,
+    credit_latency: int,
+    flit_cycles: int,
+    service_wait: Optional[int] = None,
+) -> int:
+    """Buffer depth needed to sustain one flit per ``flit_cycles``.
+
+    Little's law on the credit loop: at full rate the sender issues a
+    flit every ``flit_cycles`` cycles, so it needs
+    ``ceil(round_trip / flit_cycles)`` credits in flight.
+    """
+    rt = credit_round_trip(
+        forward_latency, credit_latency, flit_cycles, service_wait
+    )
+    return math.ceil(rt / flit_cycles)
+
+
+def crosspoint_required_depth(config: RouterConfig) -> int:
+    """Depth the fully buffered crossbar's crosspoint buffers need.
+
+    Forward path: the input-row traversal (``flit_cycles``).  Return
+    path: the shared credit bus (``credit_latency``, plus up to
+    ``flit_cycles - 1`` cycles of bus re-arbitration slack in the
+    worst case — the paper notes a losing crosspoint "has 3 additional
+    cycles to re-arbitrate ... without affecting the throughput").
+    """
+    worst_credit = config.credit_latency + (config.flit_cycles - 1)
+    return required_depth(
+        forward_latency=config.flit_cycles,
+        credit_latency=worst_credit,
+        flit_cycles=config.flit_cycles,
+    )
+
+
+def max_throughput_fraction(
+    depth: int,
+    forward_latency: int,
+    credit_latency: int,
+    flit_cycles: int,
+    service_wait: Optional[int] = None,
+) -> float:
+    """Throughput ceiling imposed by a ``depth``-flit credited buffer.
+
+    With fewer credits than the round trip needs, the sender stalls:
+    it can move at most ``depth`` flits per round trip.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    rt = credit_round_trip(
+        forward_latency, credit_latency, flit_cycles, service_wait
+    )
+    peak = depth * flit_cycles / rt
+    return min(1.0, peak)

@@ -1,0 +1,62 @@
+"""Network cost and power models (Section 2, Figure 3(b)).
+
+"Network cost is largely due to router pins and connectors and hence is
+roughly proportional to total router bandwidth: the number of channels
+times their bandwidth.  For a fixed network bisection bandwidth, this
+cost is proportional to hop count."  Since every packet crosses
+H = 2 log_k N routers, an N-node network needs N*H/k routers of radix
+k, i.e. N*H channels in total; raising the radix shrinks the hop count
+and with it both channel count and cost.
+
+"Power dissipated by a network also decreases with increasing radix":
+power is roughly proportional to the number of router nodes (router
+power is dominated by I/O circuits and switch bandwidth, both fixed for
+fixed per-router bandwidth B; "the arbitration logic ... represents a
+negligible fraction of total power").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .latency import hop_count
+from .technology import Technology
+
+
+def channel_count(radix: int, num_nodes: int) -> float:
+    """Total network channels: N * H(k)."""
+    return num_nodes * hop_count(radix, num_nodes)
+
+
+def router_count(radix: int, num_nodes: int) -> float:
+    """Routers needed: N * H(k) / k."""
+    return channel_count(radix, num_nodes) / radix
+
+
+def network_cost(radix: int, tech: Technology, unit_cost: float = 1.0) -> float:
+    """Cost in units of ``unit_cost`` per channel (Figure 3(b) uses
+    thousands of channels, i.e. ``unit_cost = 1000``)."""
+    if unit_cost <= 0:
+        raise ValueError(f"unit_cost must be > 0, got {unit_cost}")
+    return channel_count(radix, tech.num_nodes) / unit_cost
+
+
+def network_power(
+    radix: int, tech: Technology, router_power: float = 1.0
+) -> float:
+    """Power in units of one router's dissipation."""
+    return router_count(radix, tech.num_nodes) * router_power
+
+
+def cost_vs_radix(
+    tech: Technology, radices: Sequence[int], unit_cost: float = 1000.0
+) -> List[Tuple[int, float]]:
+    """(k, cost in thousands of channels) series for Figure 3(b)."""
+    return [(k, network_cost(k, tech, unit_cost)) for k in radices]
+
+
+def power_vs_radix(
+    tech: Technology, radices: Sequence[int]
+) -> List[Tuple[int, float]]:
+    """(k, relative network power) series."""
+    return [(k, network_power(k, tech)) for k in radices]

@@ -1,0 +1,193 @@
+"""Analytical latency model and optimal radix (Section 2, Eqs 1-3).
+
+Under low load, packet latency is header latency plus serialization
+latency:
+
+    T = H * t_r + L / b                                      (Eq. 1)
+
+For an N-node network of radix-k routers, H = 2 * log_k N hops are
+needed (non-blocking network under uniform traffic) and each of the 2k
+channels carries b = B / 2k, giving
+
+    T(k) = 2 * t_r * log_k N + 2 k L / B                     (Eq. 2)
+
+Setting dT/dk = 0 yields the latency-optimal radix as the solution of
+
+    k* ln^2 k* = B * t_r * ln N / L  =  A                    (Eq. 3)
+
+where A is the router *aspect ratio*.  (The paper prints Eq. 3 with an
+unspecified logarithm base; natural logarithms reproduce its annotated
+values — A = 554 giving k* = 40 for the 2003 technology and A = 2978
+giving k* = 127 for 2010 — so natural logarithms are used here.)
+
+The refinement t_r = t_cy (X + Y log2 k) (pipelined router delay) does
+not change the optimal radix — the log k growth of router depth is
+exactly offset by the 1/log k shrinkage of hop count — which
+``optimal_radix_detailed`` demonstrates numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from .technology import Technology
+
+
+def hop_count(radix: int, num_nodes: int) -> float:
+    """H = 2 log_k N: hops through a non-blocking network."""
+    if radix < 2:
+        raise ValueError(f"radix must be >= 2, got {radix}")
+    if num_nodes < 2:
+        raise ValueError(f"num_nodes must be >= 2, got {num_nodes}")
+    return 2.0 * math.log(num_nodes) / math.log(radix)
+
+
+def header_latency(radix: int, tech: Technology) -> float:
+    """T_h = H * t_r, seconds."""
+    return hop_count(radix, tech.num_nodes) * tech.router_delay
+
+
+def serialization_latency(radix: int, tech: Technology) -> float:
+    """T_s = L / b with b = B / 2k, seconds."""
+    channel_bandwidth = tech.bandwidth / (2.0 * radix)
+    return tech.packet_length / channel_bandwidth
+
+
+def packet_latency(radix: int, tech: Technology) -> float:
+    """T(k) of Equation 2, seconds."""
+    return header_latency(radix, tech) + serialization_latency(radix, tech)
+
+
+def aspect_ratio(tech: Technology) -> float:
+    """A = B t_r ln(N) / L (Equation 3's right-hand side)."""
+    return tech.aspect_ratio
+
+
+def optimal_radix_continuous(aspect: float) -> float:
+    """Solve k ln^2 k = A for real k >= 2 (bisection).
+
+    For A below the k=2 value of the left-hand side the optimum
+    saturates at the minimum radix 2.
+    """
+    if aspect <= 0:
+        raise ValueError(f"aspect ratio must be > 0, got {aspect}")
+
+    def lhs(k: float) -> float:
+        return k * math.log(k) ** 2
+
+    lo, hi = 2.0, 2.0
+    if lhs(lo) >= aspect:
+        return 2.0
+    while lhs(hi) < aspect:
+        hi *= 2.0
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if lhs(mid) < aspect:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def optimal_radix(tech: Technology) -> int:
+    """Integer radix minimizing T(k) of Equation 2 (exact search).
+
+    Searches around the continuous solution of Equation 3 and returns
+    the integer argmin, which also validates the closed form.
+    """
+    k_star = optimal_radix_continuous(tech.aspect_ratio)
+    lo = max(2, int(k_star * 0.5))
+    hi = max(lo + 2, int(k_star * 2.0) + 2)
+    best = min(range(lo, hi + 1), key=lambda k: packet_latency(k, tech))
+    return best
+
+
+def latency_vs_radix(
+    tech: Technology, radices: Sequence[int]
+) -> List[Tuple[int, float]]:
+    """(k, T(k) in seconds) series for Figure 3(a)."""
+    return [(k, packet_latency(k, tech)) for k in radices]
+
+
+# ----------------------------------------------------------------------
+# Detailed (pipelined) router-delay refinement
+# ----------------------------------------------------------------------
+
+
+def pipelined_router_delay(
+    radix: int, cycle_time: float, stages_fixed: float, stages_per_log: float
+) -> float:
+    """t_r = t_cy (X + Y log2 k): pipeline depth grows with log(k)."""
+    if radix < 2:
+        raise ValueError(f"radix must be >= 2, got {radix}")
+    return cycle_time * (stages_fixed + stages_per_log * math.log2(radix))
+
+
+def packet_latency_detailed(
+    radix: int,
+    tech: Technology,
+    cycle_time: float,
+    stages_fixed: float = 3.0,
+    stages_per_log: float = 1.0,
+) -> float:
+    """Equation 2 with the radix-dependent router delay substituted."""
+    t_r = pipelined_router_delay(radix, cycle_time, stages_fixed, stages_per_log)
+    header = hop_count(radix, tech.num_nodes) * t_r
+    return header + serialization_latency(radix, tech)
+
+
+def optimal_radix_detailed(
+    tech: Technology,
+    cycle_time: float,
+    stages_fixed: float = 3.0,
+    stages_per_log: float = 1.0,
+    max_radix: int = 1024,
+) -> int:
+    """Integer argmin of the detailed model (Section 2's claim is that
+    the Y log2 k term leaves the optimum essentially unchanged)."""
+    return min(
+        range(2, max_radix + 1),
+        key=lambda k: packet_latency_detailed(
+            k, tech, cycle_time, stages_fixed, stages_per_log
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Time of flight (Section 2's final latency term)
+# ----------------------------------------------------------------------
+
+#: Signal propagation velocity in network cabling, m/s (~2/3 c).
+DEFAULT_VELOCITY = 2.0e8
+
+
+def time_of_flight(
+    total_distance: float, velocity: float = DEFAULT_VELOCITY
+) -> float:
+    """T_tof = D / v, seconds.
+
+    Section 2: "time of flight does not depend on the radix ... as
+    radix increases, the distance between two router nodes increases.
+    However, the *total* distance traveled by a packet will be
+    approximately equal since a lower-radix network requires more
+    hops."  The term therefore shifts every latency curve uniformly
+    and has no effect on the optimal radix.
+    """
+    if total_distance < 0:
+        raise ValueError(f"total_distance must be >= 0, got {total_distance}")
+    if velocity <= 0:
+        raise ValueError(f"velocity must be > 0, got {velocity}")
+    return total_distance / velocity
+
+
+def packet_latency_with_flight(
+    radix: int,
+    tech: Technology,
+    total_distance: float,
+    velocity: float = DEFAULT_VELOCITY,
+) -> float:
+    """Equation 2 plus the radix-independent time-of-flight term."""
+    return packet_latency(radix, tech) + time_of_flight(
+        total_distance, velocity
+    )

@@ -1,0 +1,94 @@
+"""Router power breakdown (Section 2's power argument).
+
+The paper's claim: "the power of an individual router node is largely
+independent of the radix as long as the total router bandwidth is held
+constant.  Router power is largely due to I/O circuits and switch
+bandwidth.  The arbitration logic, which becomes more complex as radix
+increases, represents a negligible fraction of total power [33]."
+
+This module makes the claim checkable: a per-router power model with
+I/O, switch-datapath, buffer, and arbitration components, parameterized
+by energy constants (defaults loosely follow the relative magnitudes in
+Wang-Peh-Malik [33], where datapath and I/O dwarf control).  At fixed
+total bandwidth, only the arbitration term grows with radix — and
+stays a few percent of the total across the whole sweep, which is what
+licenses the network-level conclusion that power tracks router *count*
+(see :func:`repro.models.cost.network_power`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-router power, watts, at fixed total bandwidth B.
+
+    Attributes:
+        io_energy_pj_per_bit: Off-chip signaling energy per bit.
+        switch_energy_pj_per_bit: Crossbar datapath energy per bit.
+        buffer_energy_pj_per_bit: Buffer read+write energy per bit.
+        arbiter_power_per_port_mw: Arbitration/control power per port
+            (the only radix-dependent term; grows as k log k for the
+            distributed allocator's request/grant trees).
+    """
+
+    io_energy_pj_per_bit: float = 10.0
+    switch_energy_pj_per_bit: float = 2.0
+    buffer_energy_pj_per_bit: float = 1.0
+    arbiter_power_per_port_mw: float = 0.2
+
+    def io_power(self, bandwidth: float) -> float:
+        """I/O power at total bandwidth ``bandwidth`` bits/s, watts."""
+        return self.io_energy_pj_per_bit * 1e-12 * bandwidth
+
+    def switch_power(self, bandwidth: float) -> float:
+        return self.switch_energy_pj_per_bit * 1e-12 * bandwidth
+
+    def buffer_power(self, bandwidth: float) -> float:
+        return self.buffer_energy_pj_per_bit * 1e-12 * bandwidth
+
+    def arbitration_power(self, radix: int) -> float:
+        """Control power, watts; grows as k log2(k)."""
+        if radix < 2:
+            raise ValueError(f"radix must be >= 2, got {radix}")
+        return (
+            self.arbiter_power_per_port_mw
+            * 1e-3
+            * radix
+            * math.log2(radix)
+        )
+
+    def router_power(self, radix: int, bandwidth: float) -> float:
+        """Total router power at fixed bandwidth, watts."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        return (
+            self.io_power(bandwidth)
+            + self.switch_power(bandwidth)
+            + self.buffer_power(bandwidth)
+            + self.arbitration_power(radix)
+        )
+
+    def breakdown(self, radix: int, bandwidth: float) -> Dict[str, float]:
+        """Per-component power, watts."""
+        return {
+            "io": self.io_power(bandwidth),
+            "switch": self.switch_power(bandwidth),
+            "buffers": self.buffer_power(bandwidth),
+            "arbitration": self.arbitration_power(radix),
+        }
+
+    def arbitration_fraction(self, radix: int, bandwidth: float) -> float:
+        """Share of router power spent on arbitration.
+
+        The paper's claim is that this stays negligible across the
+        radix sweep — a few percent even at radix 256 for terabit
+        routers.
+        """
+        return self.arbitration_power(radix) / self.router_power(
+            radix, bandwidth
+        )

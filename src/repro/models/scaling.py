@@ -1,0 +1,110 @@
+"""Historical router pin-bandwidth scaling (Figure 1).
+
+Figure 1 plots the pin bandwidth of router chips over twenty years and
+observes "an order of magnitude increase in the off-chip bandwidth
+approximately every five years".  The paper's exact per-machine numbers
+are read off its log-scale plot; the dataset below transcribes the
+machines from the figure legend with bandwidths taken from the paper
+where stated (J-Machine, Cray T3E, SGI Altix 3000, 2010 estimate) and
+from the cited machine references elsewhere (approximate, to within the
+plot's resolution).
+
+``fit_exponential`` reproduces the dotted trend line: a least-squares
+fit of log10(bandwidth) against year, whose slope corresponds to the
+roughly 10x-per-5-years growth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class RouterDataPoint:
+    """One router chip: name, year, and pin bandwidth in Gb/s."""
+
+    name: str
+    year: int
+    bandwidth_gbps: float
+    highest_of_era: bool = False
+
+
+#: Machines from Figure 1's legend.  Bandwidths marked in the paper's
+#: text or footnotes are exact; the rest are approximate transcriptions.
+ROUTER_SCALING_DATA: Tuple[RouterDataPoint, ...] = (
+    RouterDataPoint("Torus Routing Chip", 1985, 0.24),
+    RouterDataPoint("Intel iPSC/2", 1988, 0.35),
+    RouterDataPoint("J-Machine", 1991, 3.84, highest_of_era=True),
+    RouterDataPoint("CM-5", 1993, 1.6),
+    RouterDataPoint("Intel Paragon XP", 1992, 6.4),
+    RouterDataPoint("Cray T3D", 1993, 9.6),
+    RouterDataPoint("MIT Alewife", 1994, 3.6),
+    RouterDataPoint("IBM Vulcan", 1994, 4.5),
+    RouterDataPoint("Cray T3E", 1996, 64.0, highest_of_era=True),
+    RouterDataPoint("SGI Origin 2000", 1997, 25.0),
+    RouterDataPoint("AlphaServer GS320", 2000, 51.2),
+    RouterDataPoint("IBM SP Switch2", 2000, 64.0),
+    RouterDataPoint("Quadrics QsNet", 2002, 87.0),
+    RouterDataPoint("Cray X1", 2003, 102.0),
+    RouterDataPoint("Velio 3003", 2003, 1000.0, highest_of_era=True),
+    RouterDataPoint("IBM HPS", 2003, 64.0),
+    RouterDataPoint("SGI Altix 3000", 2003, 400.0),
+    RouterDataPoint("2010 estimate", 2010, 20000.0, highest_of_era=True),
+)
+
+
+def fit_exponential(
+    data: Sequence[RouterDataPoint] = ROUTER_SCALING_DATA,
+) -> Tuple[float, float]:
+    """Least-squares fit of log10(bandwidth) = a + b * year.
+
+    Returns (a, b); ``10**b`` is the annual growth factor.
+    """
+    if len(data) < 2:
+        raise ValueError("need at least two data points to fit")
+    xs = [float(d.year) for d in data]
+    ys = [math.log10(d.bandwidth_gbps) for d in data]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("all data points share the same year")
+    b = sxy / sxx
+    a = mean_y - b * mean_x
+    return a, b
+
+
+def doubling_years(data: Sequence[RouterDataPoint] = ROUTER_SCALING_DATA) -> float:
+    """Years for bandwidth to double along the fitted trend."""
+    _, b = fit_exponential(data)
+    return math.log10(2.0) / b
+
+
+def growth_per_five_years(
+    data: Sequence[RouterDataPoint] = ROUTER_SCALING_DATA,
+) -> float:
+    """Bandwidth multiplication over five years along the fit.
+
+    The paper's observation is that this is roughly 10x.
+    """
+    _, b = fit_exponential(data)
+    return 10.0 ** (5.0 * b)
+
+
+def predicted_bandwidth_gbps(
+    year: int, data: Sequence[RouterDataPoint] = ROUTER_SCALING_DATA
+) -> float:
+    """Bandwidth the fitted trend predicts for ``year``, in Gb/s."""
+    a, b = fit_exponential(data)
+    return 10.0 ** (a + b * year)
+
+
+def frontier(
+    data: Sequence[RouterDataPoint] = ROUTER_SCALING_DATA,
+) -> List[RouterDataPoint]:
+    """The highest-performance routers per era (the solid line of Fig 1)."""
+    return [d for d in data if d.highest_of_era]

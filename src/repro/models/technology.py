@@ -1,0 +1,76 @@
+"""Technology presets used by the analytical models (Section 2).
+
+The paper anchors its latency and cost analysis on four technology
+points (footnote 3):
+
+* 1991 — J-Machine: B = 3.84 Gb/s, t_r = 62 ns, N = 1024, L = 128 bits
+* 1996 — Cray T3E: B = 64 Gb/s, t_r = 40 ns, N = 2048, L = 128 bits
+* 2003 — SGI Altix 3000: B = 0.4 Tb/s, t_r = 25 ns, N = 1024, L = 128 bits
+* 2010 — estimate: B = 20 Tb/s, t_r = 5 ns, N = 2048, L = 256 bits
+
+These give the aspect ratios annotated in Figure 2 (≈554 for 2003 and
+≈2978 for 2010) and the optimal radices of Section 2 (≈40 for 2003,
+≈127 for 2010).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Network technology operating point.
+
+    Attributes:
+        name: Human-readable label (usually the year).
+        bandwidth: Total router bandwidth B, bits/second.
+        router_delay: Per-hop router delay t_r, seconds.
+        num_nodes: Network size N.
+        packet_length: Packet length L, bits.
+        year: Calendar year of the operating point.
+    """
+
+    name: str
+    bandwidth: float
+    router_delay: float
+    num_nodes: int
+    packet_length: int
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.router_delay <= 0:
+            raise ValueError(
+                f"router_delay must be > 0, got {self.router_delay}"
+            )
+        if self.num_nodes < 2:
+            raise ValueError(f"num_nodes must be >= 2, got {self.num_nodes}")
+        if self.packet_length < 1:
+            raise ValueError(
+                f"packet_length must be >= 1, got {self.packet_length}"
+            )
+
+    @property
+    def aspect_ratio(self) -> float:
+        """A = B * t_r * ln(N) / L (Section 2, Equation 3).
+
+        A high aspect ratio calls for a "tall, skinny" router (many
+        narrow channels); a low ratio for a "short, fat" one.
+        """
+        return (
+            self.bandwidth
+            * self.router_delay
+            * math.log(self.num_nodes)
+            / self.packet_length
+        )
+
+
+TECH_1991 = Technology("1991 (J-Machine)", 3.84e9, 62e-9, 1024, 128, 1991)
+TECH_1996 = Technology("1996 (Cray T3E)", 64e9, 40e-9, 2048, 128, 1996)
+TECH_2003 = Technology("2003 (SGI Altix 3000)", 0.4e12, 25e-9, 1024, 128, 2003)
+TECH_2010 = Technology("2010 (estimate)", 20e12, 5e-9, 2048, 256, 2010)
+
+ALL_TECHNOLOGIES = (TECH_1991, TECH_1996, TECH_2003, TECH_2010)

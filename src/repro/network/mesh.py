@@ -1,0 +1,192 @@
+"""N-dimensional mesh topology with dimension-order routing.
+
+The paper's conclusion points at the topology question its routers
+open up: "high-radix routers reduce network hop count, presenting
+challenges in the design of optimal network topologies.  New routing
+algorithms are required..."  This module provides the classic
+comparison substrate — a k-ary n-mesh with deterministic
+dimension-order (e-cube) routing — so network-level experiments can
+contrast the Clos networks of Figure 19 with a direct topology built
+from the same routers.
+
+Dimension-order routing on a mesh (no wrap-around links) is
+deadlock-free with a single virtual channel: packets correct one
+dimension at a time in a fixed order, so the channel dependence graph
+is acyclic.  Each switch carries ``concentration`` hosts, using radix
+``2 * n + concentration``.
+
+Switch ids are coordinate tuples; port numbering per switch:
+
+* ports ``2d`` / ``2d + 1`` — the +/− neighbor in dimension ``d``
+  (absent at the mesh edge);
+* ports ``2n .. 2n + concentration - 1`` — host ports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from .topology import PortRef
+
+Coord = Tuple[int, ...]
+
+
+class Mesh:
+    """A k-ary n-mesh of switches with attached hosts.
+
+    Args:
+        dims: Switches per dimension, e.g. ``(4, 4)`` for a 4x4 mesh.
+        concentration: Hosts attached to each switch.
+    """
+
+    def __init__(self, dims: Sequence[int], concentration: int = 1) -> None:
+        if not dims:
+            raise ValueError("dims must be non-empty")
+        for d in dims:
+            if d < 2:
+                raise ValueError(f"each dimension must be >= 2, got {d}")
+        if concentration < 1:
+            raise ValueError(
+                f"concentration must be >= 1, got {concentration}"
+            )
+        self.dims = tuple(dims)
+        self.concentration = concentration
+        self.n = len(self.dims)
+        self.num_switches = 1
+        for d in self.dims:
+            self.num_switches *= d
+        self.num_hosts = self.num_switches * concentration
+        #: Radix a physical router needs for this topology.
+        self.radix = 2 * self.n + concentration
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+
+    def switch_ids(self) -> List[Coord]:
+        coords: List[Coord] = [()]
+        for size in self.dims:
+            coords = [c + (x,) for c in coords for x in range(size)]
+        return coords
+
+    def ports_used(self, switch: Coord) -> int:
+        """Port index space per switch (edge ports may be unwired)."""
+        return 2 * self.n + self.concentration
+
+    def wired_ports(self, switch: Coord) -> List[int]:
+        """Ports of ``switch`` that actually lead somewhere (interior
+        links plus host ports; mesh-edge ports are unwired)."""
+        self._check(switch)
+        ports = []
+        for d in range(self.n):
+            if switch[d] + 1 < self.dims[d]:
+                ports.append(2 * d)
+            if switch[d] - 1 >= 0:
+                ports.append(2 * d + 1)
+        ports.extend(range(2 * self.n, 2 * self.n + self.concentration))
+        return ports
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def neighbor(self, switch: Coord, port: int) -> PortRef:
+        """Endpoint reached from ``port`` of ``switch``."""
+        self._check(switch)
+        if port < 2 * self.n:
+            d, positive = divmod(port, 2)
+            step = 1 if positive == 0 else -1
+            coord = switch[d] + step
+            if not 0 <= coord < self.dims[d]:
+                raise ValueError(
+                    f"port {port} of {switch} faces the mesh edge"
+                )
+            target = switch[:d] + (coord,) + switch[d + 1 :]
+            # The reverse port on the neighbor: opposite direction.
+            back = 2 * d + (1 if positive == 0 else 0)
+            return PortRef(switch=target, port=back)
+        local = port - 2 * self.n
+        if local >= self.concentration:
+            raise ValueError(f"port {port} out of range on {switch}")
+        return PortRef(switch=None, port=0, host=self._host_id(switch, local))
+
+    def host_attachment(self, host: int) -> PortRef:
+        if not 0 <= host < self.num_hosts:
+            raise ValueError(
+                f"host {host} out of range 0..{self.num_hosts - 1}"
+            )
+        switch_index, local = divmod(host, self.concentration)
+        return PortRef(
+            switch=self._coord(switch_index), port=2 * self.n + local
+        )
+
+    def _host_id(self, switch: Coord, local: int) -> int:
+        return self._index(switch) * self.concentration + local
+
+    def _index(self, switch: Coord) -> int:
+        idx = 0
+        for size, c in zip(self.dims, switch):
+            idx = idx * size + c
+        return idx
+
+    def _coord(self, index: int) -> Coord:
+        coord: List[int] = []
+        for size in reversed(self.dims):
+            index, c = divmod(index, size)
+            coord.append(c)
+        return tuple(reversed(coord))
+
+    def _check(self, switch: Coord) -> None:
+        if len(switch) != self.n:
+            raise ValueError(f"switch id {switch} has wrong arity")
+        for c, size in zip(switch, self.dims):
+            if not 0 <= c < size:
+                raise ValueError(f"switch id {switch} out of range")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def hop_count(self, src_host: int, dst_host: int) -> int:
+        """Routers traversed under dimension-order routing."""
+        a = self.host_attachment(src_host).switch
+        b = self.host_attachment(dst_host).switch
+        assert a is not None and b is not None
+        return 1 + sum(abs(x - y) for x, y in zip(a, b))
+
+    def route(
+        self, src_host: int, dst_host: int, rng: random.Random
+    ) -> List[int]:
+        """Dimension-order (e-cube) source route.
+
+        Deterministic — the ``rng`` argument exists for protocol
+        compatibility with oblivious topologies and is unused.
+        """
+        if not 0 <= dst_host < self.num_hosts:
+            raise ValueError(f"dst_host {dst_host} out of range")
+        src = self.host_attachment(src_host).switch
+        dst_ref = self.host_attachment(dst_host)
+        dst = dst_ref.switch
+        assert src is not None and dst is not None
+        ports: List[int] = []
+        current = list(src)
+        for d in range(self.n):
+            while current[d] != dst[d]:
+                if current[d] < dst[d]:
+                    ports.append(2 * d)
+                    current[d] += 1
+                else:
+                    ports.append(2 * d + 1)
+                    current[d] -= 1
+        ports.append(dst_ref.port)
+        return ports
+
+    def average_hop_count(self) -> float:
+        """Expected routers traversed under uniform random traffic."""
+        total = 0.0
+        for dim in self.dims:
+            # Mean |x - y| for independent uniform x, y in [0, dim).
+            s = sum(abs(x - y) for x in range(dim) for y in range(dim))
+            total += s / (dim * dim)
+        return 1.0 + total

@@ -1,0 +1,314 @@
+"""Network simulation (Figure 19 and beyond).
+
+Wires :class:`~repro.network.router.NetworkRouter` instances according
+to any topology satisfying :class:`~repro.network.topology.Topology`
+(the folded Clos of Figure 19, the mesh of
+:mod:`repro.network.mesh`, ...), attaches hosts with Bernoulli traffic
+sources, routes packets with the topology's routing function, and
+measures packet latency from generation to tail arrival — the same
+warm-up / label / drain methodology as the switch-level harness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.flit import Flit, make_packet
+from ..core.rng import derive_rng
+from ..harness.stats import LatencySample, RunResult, summarize
+from .router import NetworkRouter, NetworkRouterConfig, OutputLink, pipeline_depth_for_radix
+from .topology import FoldedClos, SwitchId, Topology
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of a Clos network experiment."""
+
+    radix: int = 16
+    levels: int = 2
+    num_vcs: int = 4
+    buffer_depth: int = 8
+    flit_cycles: int = 4
+    channel_latency: int = 1
+    credit_latency: int = 1
+    packet_size: int = 1
+    pipeline_delay: Optional[int] = None  # default: scale with log2(radix)
+    seed: int = 1
+
+    def router_config(self, num_ports: int) -> NetworkRouterConfig:
+        depth = (
+            self.pipeline_delay
+            if self.pipeline_delay is not None
+            else pipeline_depth_for_radix(self.radix)
+        )
+        return NetworkRouterConfig(
+            num_ports=num_ports,
+            num_vcs=self.num_vcs,
+            buffer_depth=self.buffer_depth,
+            flit_cycles=self.flit_cycles,
+            pipeline_delay=depth,
+            channel_latency=self.channel_latency,
+            credit_latency=self.credit_latency,
+        )
+
+
+class NetworkSimulation:
+    """End-to-end simulation of a network of routers on any topology."""
+
+    def __init__(
+        self,
+        config: NetworkConfig,
+        load: float,
+        topology: Optional[Topology] = None,
+        host_pattern: Optional[object] = None,
+    ) -> None:
+        """Args:
+            config: Router/channel parameters (``radix``/``levels`` are
+                only used when ``topology`` is omitted, in which case a
+                folded Clos is built from them).
+            load: Offered load as a fraction of host channel capacity.
+            topology: Any object satisfying the Topology protocol.
+            host_pattern: Optional traffic pattern over *hosts* (a
+                :class:`~repro.traffic.patterns.TrafficPattern` built
+                for ``topology.num_hosts`` ports); uniform random when
+                omitted.
+        """
+        if not 0.0 <= load <= 1.0:
+            raise ValueError(f"load must be in [0, 1], got {load}")
+        self.config = config
+        self.load = load
+        self.topology = topology or FoldedClos(config.radix, config.levels)
+        self._host_pattern = host_pattern
+        self.cycle = 0
+        self._build_network()
+        n = self.topology.num_hosts
+        cap = 1.0 / config.flit_cycles
+        self._packet_rate = load * cap / config.packet_size
+        self._rngs = [derive_rng(config.seed, "net", h) for h in range(n)]
+        self._route_rng = derive_rng(config.seed, "route")
+        self._source_q: List[List[Flit]] = [[] for _ in range(n)]
+        self._next_inject = [0] * n
+        self._packet_vc: List[Optional[int]] = [None] * n
+        self._vc_rr = [0] * n
+        self._measuring = False
+        self._count_flits = False
+        self._outstanding = 0
+        self._labeled_total = 0
+        self.sample = LatencySample()
+        self.measured_flits = 0
+        # Global in-flight flit event queue: (arrival, seq, flit, target).
+        self._inflight: List[Tuple[int, int, Flit, object]] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_network(self) -> None:
+        topo = self.topology
+        self.routers: Dict[SwitchId, NetworkRouter] = {}
+        for sid in topo.switch_ids():
+            ports = topo.ports_used(sid)
+            self.routers[sid] = NetworkRouter(
+                self.config.router_config(ports), name=str(sid)
+            )
+        # Wire every connected port of every switch.
+        for sid, router in self.routers.items():
+            for port in topo.wired_ports(sid):
+                ref = topo.neighbor(sid, port)
+                if ref.switch is None:
+                    link = OutputLink(
+                        self.config.num_vcs,
+                        self._make_host_sink(ref.host),
+                        downstream_depth=None,
+                    )
+                else:
+                    target = self.routers[ref.switch]
+                    link = OutputLink(
+                        self.config.num_vcs,
+                        self._make_router_sink(target, ref.port),
+                        downstream_depth=self.config.buffer_depth,
+                    )
+                    # Credit return path: when the downstream router
+                    # frees the slot, restore this link's counter.
+                    target.credit_sinks[ref.port] = self._make_credit_sink(link)
+                router.attach(port, link)
+
+    def _make_router_sink(self, target: NetworkRouter, port: int):
+        def deliver(flit: Flit, arrival: int) -> None:
+            heapq.heappush(
+                self._inflight, (arrival, next(self._seq), flit, (target, port))
+            )
+
+        return deliver
+
+    def _make_host_sink(self, host: Optional[int]):
+        def deliver(flit: Flit, arrival: int) -> None:
+            heapq.heappush(
+                self._inflight, (arrival, next(self._seq), flit, host)
+            )
+
+        return deliver
+
+    @staticmethod
+    def _make_credit_sink(link: OutputLink):
+        def restore(vc: int) -> None:
+            link.restore_credit(vc)
+
+        return restore
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        now = self.cycle
+        self._deliver_arrivals(now)
+        self._generate(now)
+        self._inject(now)
+        for router in self.routers.values():
+            router.step()
+        self.cycle += 1
+
+    def _deliver_arrivals(self, now: int) -> None:
+        while self._inflight and self._inflight[0][0] <= now:
+            _, _, flit, target = heapq.heappop(self._inflight)
+            if isinstance(target, tuple):
+                router, port = target
+                router.accept(port, flit)
+            else:
+                # Host ejection.
+                if self._count_flits:
+                    self.measured_flits += 1
+                if flit.is_tail and flit.measured:
+                    self.sample.add(now - flit.created_at)
+                    self._outstanding -= 1
+
+    def _generate(self, now: int) -> None:
+        for host in range(self.topology.num_hosts):
+            rng = self._rngs[host]
+            if rng.random() >= self._packet_rate:
+                continue
+            if self._host_pattern is None:
+                dest = rng.randrange(self.topology.num_hosts)
+            else:
+                dest = self._host_pattern.dest(host, rng)
+            route = self.topology.route(host, dest, self._route_rng)
+            flits = make_packet(
+                dest=dest,
+                size=self.config.packet_size,
+                src=host,
+                created_at=now,
+                measured=self._measuring,
+                route=route,
+            )
+            self._source_q[host].extend(flits)
+            if self._measuring:
+                self._outstanding += 1
+                self._labeled_total += 1
+
+    def _inject(self, now: int) -> None:
+        topo = self.topology
+        for host in range(topo.num_hosts):
+            if now < self._next_inject[host] or not self._source_q[host]:
+                continue
+            flit = self._source_q[host][0]
+            attach = topo.host_attachment(host)
+            assert attach.switch is not None
+            router = self.routers[attach.switch]
+            vc = self._packet_vc[host]
+            if flit.is_head and vc is None:
+                vc = self._pick_vc(router, attach.port, host)
+                if vc is None:
+                    continue
+                self._packet_vc[host] = vc
+            assert vc is not None
+            if router.input_space(attach.port, vc) < 1:
+                continue
+            flit.vc = vc
+            self._source_q[host].pop(0)
+            router.accept(attach.port, flit)
+            self._next_inject[host] = now + self.config.flit_cycles
+            if flit.is_tail:
+                self._packet_vc[host] = None
+
+    def _pick_vc(self, router: NetworkRouter, port: int, host: int) -> Optional[int]:
+        v = self.config.num_vcs
+        for offset in range(v):
+            vc = (self._vc_rr[host] + offset) % v
+            if router.input_space(port, vc) >= 1:
+                self._vc_rr[host] = (vc + 1) % v
+                return vc
+        return None
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def run(
+        self, warmup: int = 2000, measure: int = 2000, drain: int = 30000
+    ) -> RunResult:
+        for _ in range(warmup):
+            self.step()
+        self._measuring = True
+        self._count_flits = True
+        start = self.cycle
+        for _ in range(measure):
+            self.step()
+        self._measuring = False
+        measured_cycles = self.cycle - start
+        self._count_flits = False
+        steps = 0
+        while self._outstanding > 0 and steps < drain:
+            self.step()
+            steps += 1
+        frac = (
+            1.0
+            if self._labeled_total == 0
+            else 1.0 - self._outstanding / self._labeled_total
+        )
+        return summarize(
+            offered_load=self.load,
+            sample=self.sample,
+            measured_flits=self.measured_flits,
+            measured_cycles=measured_cycles,
+            num_ports=self.topology.num_hosts,
+            capacity=1.0 / self.config.flit_cycles,
+            saturated=frac < 0.999,
+            cycles=self.cycle,
+        )
+
+
+class ClosNetworkSimulation(NetworkSimulation):
+    """Figure 19's configuration: a folded Clos built from ``config``."""
+
+    def __init__(self, config: NetworkConfig, load: float) -> None:
+        super().__init__(config, load)
+
+
+def run_network_sweep(
+    config: NetworkConfig,
+    loads,
+    label: str = "",
+    topology=None,
+    warmup: int = 2000,
+    measure: int = 2000,
+    drain: int = 30000,
+):
+    """Load-latency curve over a network (the Figure 19 sweep).
+
+    Returns a :class:`~repro.harness.experiment.SweepResult`, so the
+    same reporting and plotting helpers apply to network curves as to
+    single-router curves.
+    """
+    from ..harness.experiment import SweepResult
+
+    sweep = SweepResult(label=label or "network")
+    for load in loads:
+        sim = NetworkSimulation(config, load, topology=topology)
+        sweep.results.append(sim.run(warmup=warmup, measure=measure,
+                                     drain=drain))
+    return sweep

@@ -1,0 +1,240 @@
+"""Network-level router model.
+
+Figure 19 simulates 4096-node Clos networks; the paper notes that
+"because of the complexity of simulating a large network, we use the
+simulation methodology outlined in [19] to reduce the simulation time
+with minimal loss in the accuracy of the simulation".  In the same
+spirit this module provides a reduced-detail router for multi-router
+simulation: an input-queued VC router with
+
+* per-VC input buffers and credit-based flow control toward the
+  downstream router (real backpressure, unlike the standalone switch
+  models whose outputs always drain);
+* source routing (each flit carries its remaining output-port list);
+* single-cycle separable allocation plus a configurable
+  ``pipeline_delay`` that models the internal pipeline depth of the
+  actual (hierarchical) router microarchitecture — deeper for higher
+  radix, per Section 2's t_r = t_cy (X + Y log2 k);
+* the same ``flit_cycles`` switch/channel serialization as the
+  switch-level models.
+
+The absolute saturation point of a single router is taken from the
+switch-level simulations; what the network simulation adds — hop count,
+serialization, queueing across stages, and backpressure — is what
+Figure 19 is about (zero-load latency and network-level saturation of
+high- vs low-radix Clos networks).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from ..core.arbiter import RoundRobinArbiter
+from ..core.buffers import VcBufferBank
+from ..core.credit import CreditCounter
+from ..core.flit import Flit
+from ..core.pipeline import BusyTracker, DelayLine
+from ..core.vcstate import OutputVcState
+
+
+@dataclass(frozen=True)
+class NetworkRouterConfig:
+    """Parameters of one network router (and its output channels)."""
+
+    num_ports: int
+    num_vcs: int = 4
+    buffer_depth: int = 8
+    flit_cycles: int = 4
+    pipeline_delay: int = 3
+    channel_latency: int = 1
+    credit_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_ports < 2:
+            raise ValueError(f"num_ports must be >= 2, got {self.num_ports}")
+        if self.num_vcs < 1:
+            raise ValueError(f"num_vcs must be >= 1, got {self.num_vcs}")
+        if self.buffer_depth < 1:
+            raise ValueError(
+                f"buffer_depth must be >= 1, got {self.buffer_depth}"
+            )
+        if self.flit_cycles < 1:
+            raise ValueError(
+                f"flit_cycles must be >= 1, got {self.flit_cycles}"
+            )
+
+
+def pipeline_depth_for_radix(radix: int, base: int = 2) -> int:
+    """Router pipeline depth scaling as X + log2(k)/2 (Section 2)."""
+    return base + max(1, round(math.log2(radix) / 2))
+
+
+class OutputLink:
+    """One router output port: where it leads and its flow-control state."""
+
+    __slots__ = ("deliver", "space", "vc_state", "credits", "is_host")
+
+    def __init__(
+        self,
+        num_vcs: int,
+        deliver: Callable[[Flit, int], None],
+        downstream_depth: Optional[int],
+    ) -> None:
+        self.deliver = deliver
+        self.vc_state = OutputVcState(num_vcs)
+        self.is_host = downstream_depth is None
+        if downstream_depth is None:
+            self.credits: Optional[List[CreditCounter]] = None
+        else:
+            self.credits = [
+                CreditCounter(downstream_depth) for _ in range(num_vcs)
+            ]
+
+    def credit_available(self, vc: int) -> bool:
+        return self.credits is None or self.credits[vc].available
+
+    def consume_credit(self, vc: int) -> None:
+        if self.credits is not None:
+            self.credits[vc].consume()
+
+    def restore_credit(self, vc: int) -> None:
+        if self.credits is not None:
+            self.credits[vc].restore()
+
+
+class NetworkRouter:
+    """Reduced-detail input-queued VC router for network simulation."""
+
+    def __init__(self, config: NetworkRouterConfig, name: str = "") -> None:
+        self.config = config
+        self.name = name
+        self.cycle = 0
+        n, v = config.num_ports, config.num_vcs
+        self.inputs = [VcBufferBank(v, config.buffer_depth) for _ in range(n)]
+        self.links: List[Optional[OutputLink]] = [None] * n
+        self._input_arb = [RoundRobinArbiter(v) for _ in range(n)]
+        self._output_arb = [RoundRobinArbiter(n) for _ in range(n)]
+        self.input_busy = BusyTracker(n)
+        self.output_busy = BusyTracker(n)
+        # Credits owed upstream: (callback,) delayed by credit_latency.
+        self._credit_out: DelayLine[Callable[[], None]] = DelayLine(
+            config.credit_latency
+        )
+        # Per-input credit-return callbacks, installed during wiring.
+        self.credit_sinks: List[Optional[Callable[[int], None]]] = [None] * n
+        # Output VC releases pending tail departure.
+        self._vc_release: DelayLine[Tuple[int, int, int]] = DelayLine(
+            config.flit_cycles
+        )
+
+    # ------------------------------------------------------------------
+
+    def attach(self, port: int, link: OutputLink) -> None:
+        """Install the output link for ``port``."""
+        if self.links[port] is not None:
+            raise RuntimeError(f"{self.name}: port {port} already attached")
+        self.links[port] = link
+
+    def accept(self, port: int, flit: Flit) -> None:
+        self.inputs[port][flit.vc].push(flit)
+
+    def input_space(self, port: int, vc: int) -> int:
+        return self.inputs[port][vc].free_slots
+
+    def occupancy(self) -> int:
+        return sum(b.occupancy() for b in self.inputs)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        for cb in self._credit_out.pop_ready(self.cycle):
+            cb()
+        for port, vc, pid in self._vc_release.pop_ready(self.cycle):
+            link = self.links[port]
+            assert link is not None
+            link.vc_state.release(vc, pid)
+        self._allocate()
+        self.cycle += 1
+
+    def _allocate(self) -> None:
+        now = self.cycle
+        n = self.config.num_ports
+        requests: dict = {}
+        for i in range(n):
+            if not self.input_busy.free(i, now):
+                continue
+            cands = [
+                self._candidate(i, vc) for vc in range(self.config.num_vcs)
+            ]
+            vc = self._input_arb[i].arbitrate([c is not None for c in cands])
+            if vc is None:
+                continue
+            flit = cands[vc]
+            assert flit is not None
+            out = flit.route[flit.hops]
+            requests.setdefault(out, []).append((i, vc, flit))
+        for out, reqs in requests.items():
+            if not self.output_busy.free(out, now):
+                continue
+            lines = [False] * n
+            by_input = {}
+            for i, vc, flit in reqs:
+                lines[i] = True
+                by_input[i] = (vc, flit)
+            winner = self._output_arb[out].arbitrate(lines)
+            if winner is None:
+                continue
+            vc, flit = by_input[winner]
+            self._transmit(winner, vc, flit, out)
+
+    def _candidate(self, i: int, vc: int) -> Optional[Flit]:
+        flit = self.inputs[i][vc].head()
+        if flit is None:
+            return None
+        if flit.hops >= len(flit.route):
+            raise RuntimeError(
+                f"{self.name}: flit {flit.packet_id} has exhausted its route"
+            )
+        out = flit.route[flit.hops]
+        link = self.links[out]
+        if link is None:
+            raise RuntimeError(f"{self.name}: output {out} not attached")
+        if not link.credit_available(flit.vc):
+            return None
+        state = link.vc_state
+        if flit.is_head:
+            if not (
+                state.is_free(flit.vc)
+                or state.owner(flit.vc) == flit.packet_id
+            ):
+                return None
+        else:
+            if state.owner(flit.vc) != flit.packet_id:
+                return None
+        return flit
+
+    def _transmit(self, i: int, vc: int, flit: Flit, out: int) -> None:
+        link = self.links[out]
+        assert link is not None
+        popped = self.inputs[i][vc].pop()
+        assert popped is flit
+        fc = self.config.flit_cycles
+        self.input_busy.reserve(i, self.cycle, fc)
+        self.output_busy.reserve(out, self.cycle, fc)
+        if flit.is_head:
+            link.vc_state.allocate(flit.vc, flit.packet_id)
+        flit.out_vc = flit.vc
+        flit.hops += 1
+        link.consume_credit(flit.vc)
+        latency = (
+            fc + self.config.pipeline_delay + self.config.channel_latency
+        )
+        link.deliver(flit, self.cycle + latency)
+        if flit.is_tail:
+            self._vc_release.push(self.cycle, (out, flit.vc, flit.packet_id))
+        # Return a credit upstream for the freed input buffer slot.
+        sink = self.credit_sinks[i]
+        if sink is not None:
+            self._credit_out.push(self.cycle, lambda s=sink, v=vc: s(v))

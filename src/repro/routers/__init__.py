@@ -1,0 +1,35 @@
+"""The four switch organizations evaluated in the paper.
+
+* :class:`BaselineRouter` — low-radix input-queued crossbar with
+  centralized single-cycle allocation (Section 3).
+* :class:`DistributedRouter` — high-radix router with distributed
+  three-stage switch allocation and speculative CVA/OVA virtual channel
+  allocation (Section 4).
+* :class:`BufferedCrossbarRouter` — per-VC buffers at every crosspoint
+  (Section 5).
+* :class:`SharedBufferCrossbarRouter` — one shared buffer per
+  crosspoint with ACK/NACK flow control (Section 5.4).
+* :class:`HierarchicalCrossbarRouter` — the paper's proposal: (k/p)^2
+  buffered p-by-p subswitches (Section 6).
+* :class:`VoqRouter` — the Section 8 comparison point: a virtual
+  output queued switch driven by a centralized iSLIP allocator.
+"""
+
+from .base import Router, RouterStats
+from .baseline import BaselineRouter
+from .buffered import BufferedCrossbarRouter
+from .distributed import DistributedRouter
+from .hierarchical import HierarchicalCrossbarRouter
+from .shared_buffer import SharedBufferCrossbarRouter
+from .voq import VoqRouter
+
+__all__ = [
+    "Router",
+    "RouterStats",
+    "BaselineRouter",
+    "DistributedRouter",
+    "BufferedCrossbarRouter",
+    "SharedBufferCrossbarRouter",
+    "HierarchicalCrossbarRouter",
+    "VoqRouter",
+]

@@ -1,0 +1,169 @@
+"""Common scaffolding for the single-router (switch-level) models.
+
+All four switch organizations evaluated in the paper — the low-radix
+centralized baseline, the high-radix distributed-allocator baseline,
+the fully buffered crossbar, and the hierarchical crossbar — share the
+same external contract:
+
+* flits enter per-VC input buffers via :meth:`Router.accept` (guarded
+  by :meth:`Router.input_space`, which upstream logic treats as a
+  credit count);
+* :meth:`Router.step` advances one clock cycle;
+* flits that complete switch traversal appear in :attr:`Router.ejected`
+  as ``(flit, eject_cycle)`` pairs, which the harness drains.
+
+Timing convention: a grant at cycle ``t`` occupies the granted input
+and output resources for ``config.flit_cycles`` cycles (the paper's
+four-cycle switch traversal) and the flit is ejected at
+``t + flit_cycles``.  Output virtual channels are owned from the head
+flit's allocation until the tail flit finishes traversal, at which
+point the VC is freed for the next packet ("upon the transmission of
+the tail flit ... the virtual channel is freed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.buffers import VcBufferBank
+from ..core.config import RouterConfig
+from ..core.flit import Flit
+from ..core.pipeline import BusyTracker, DelayLine
+from ..core.vcstate import OutputVcState
+
+
+@dataclass
+class RouterStats:
+    """Event counters accumulated over a simulation run."""
+
+    flits_accepted: int = 0
+    flits_ejected: int = 0
+    packets_ejected: int = 0
+    switch_grants: int = 0
+    switch_denials: int = 0
+    spec_vc_failures: int = 0
+    wasted_output_cycles: int = 0
+    credit_bus_conflicts: int = 0
+    nacks: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named ad-hoc counter."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+
+class Router:
+    """Base class: per-VC input buffers, ejection pipeline, VC ledgers."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        self.config = config
+        self.cycle = 0
+        k, v = config.radix, config.num_vcs
+        self.inputs: List[VcBufferBank] = [
+            VcBufferBank(v, config.input_buffer_depth) for _ in range(k)
+        ]
+        self.output_vcs: List[OutputVcState] = [OutputVcState(v) for _ in range(k)]
+        self.input_busy = BusyTracker(k)
+        self.output_busy = BusyTracker(k)
+        self.stats = RouterStats()
+        self.ejected: List[Tuple[Flit, int]] = []
+        # Flits in flight across the switch: (flit, out_port) maturing
+        # at grant_cycle + flit_cycles.
+        self._ejecting: DelayLine[Tuple[Flit, int]] = DelayLine(config.flit_cycles)
+        # Output VC releases pending tail-flit traversal completion.
+        self._vc_release: DelayLine[Tuple[int, int, int]] = DelayLine(
+            config.flit_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # External interface
+    # ------------------------------------------------------------------
+
+    def input_space(self, port: int, vc: int) -> int:
+        """Free slots in input buffer (port, vc): the upstream credit count."""
+        return self.inputs[port][vc].free_slots
+
+    def accept(self, port: int, flit: Flit) -> None:
+        """Deliver a flit into input buffer (port, flit.vc).
+
+        The caller must have checked :meth:`input_space`; overflowing
+        raises (credit protocol violation).
+        """
+        flit.injected_at = self.cycle
+        self.inputs[port][flit.vc].push(flit)
+        self.stats.flits_accepted += 1
+
+    def step(self) -> None:
+        """Advance one cycle: mature pipelines, then run the datapath."""
+        self._mature()
+        self._advance()
+        self.cycle += 1
+
+    def drain_ejected(self) -> List[Tuple[Flit, int]]:
+        """Return and clear the flits delivered since the last drain."""
+        out = self.ejected
+        self.ejected = []
+        return out
+
+    def occupancy(self) -> int:
+        """Flits resident anywhere inside the router."""
+        buffered = sum(bank.occupancy() for bank in self.inputs)
+        return buffered + len(self._ejecting) + self._extra_occupancy()
+
+    def idle(self) -> bool:
+        """True when no flit is buffered or in flight inside the router."""
+        return self.occupancy() == 0
+
+    # ------------------------------------------------------------------
+    # Shared mechanics for subclasses
+    # ------------------------------------------------------------------
+
+    def _mature(self) -> None:
+        """Deliver flits finishing traversal and release output VCs."""
+        for flit, out_port in self._ejecting.pop_ready(self.cycle):
+            self.ejected.append((flit, self.cycle))
+            self.stats.flits_ejected += 1
+            if flit.is_tail:
+                self.stats.packets_ejected += 1
+        for out, vc, pid in self._vc_release.pop_ready(self.cycle):
+            self.output_vcs[out].release(vc, pid)
+
+    def _start_traversal(
+        self, flit: Flit, out_port: int, start: Optional[int] = None
+    ) -> None:
+        """Begin switch traversal of ``flit`` toward ``out_port``.
+
+        Reserves the output for ``flit_cycles`` (from ``start``, which
+        defaults to the current cycle) and schedules ejection; tail
+        flits also schedule the output-VC release.  Subclasses reserve
+        input-side resources themselves (the input row for the
+        crossbar models, the column bus for the hierarchical model).
+        """
+        fc = self.config.flit_cycles
+        begin = self.cycle if start is None else start
+        self.output_busy.extend(out_port, begin + fc)
+        self._ejecting.push_at(begin + fc, (flit, out_port))
+        self.stats.switch_grants += 1
+        if flit.is_tail and flit.out_vc is not None:
+            self._vc_release.push_at(
+                begin + fc, (out_port, flit.out_vc, flit.packet_id)
+            )
+
+    def _extra_occupancy(self) -> int:
+        """Flits held in architecture-specific structures (overridden)."""
+        return 0
+
+    def _advance(self) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection / debugging
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"<{type(self).__name__} k={cfg.radix} v={cfg.num_vcs} "
+            f"cycle={self.cycle} occupancy={self.occupancy()}>"
+        )

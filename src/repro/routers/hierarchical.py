@@ -1,0 +1,333 @@
+"""Hierarchical crossbar: the paper's proposed architecture (Section 6).
+
+The k×k crossbar is divided into (k/p)^2 p×p *subswitches*, and only
+the inputs and outputs of each subswitch are buffered (Figure 16).
+Input i connects to the row of subswitches r = i // p; output j is fed
+by the column of subswitches c = j // p.  Buffer area grows as
+O(v·k²/p) instead of the fully buffered crossbar's O(v·k²), giving the
+40% area saving reported for k=64, p=8 while retaining most of the
+performance (Figure 17).
+
+Buffering and allocation discipline (Section 6):
+
+* **Subswitch input buffers** are allocated per *input* VC, so — as in
+  the fully buffered crossbar — no VC allocation is needed for a flit
+  to reach the subswitch, and flits never need to be NACKed.
+* **Subswitch output buffers** are allocated per *output* VC.  VC
+  allocation is therefore split into a *local* allocation within the
+  subswitch (acquiring a writer slot on the subswitch output buffer for
+  the packet's output VC, kept contiguous per packet) and a *global*
+  allocation among the subswitches of a column (ownership of the
+  actual output VC, acquired when the head flit leaves the subswitch
+  output buffer).
+* The subswitch itself is a p×p unbuffered crossbar with per-lane
+  round-robin input and output arbiters; the output port arbitrates
+  round-robin among the k/p subswitch output buffers of its column.
+
+Timing: the input row bus, the subswitch datapath, and the output
+column each carry one flit per ``flit_cycles`` cycles, matching the
+switch-traversal serialization of the other models.  Credits for the
+subswitch input buffers return to the input over a fixed-latency pipe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.arbiter import RoundRobinArbiter
+from ..core.buffers import VcBufferBank
+from ..core.config import RouterConfig
+from ..core.credit import CreditCounter, DelayedCreditPipe
+from ..core.flit import Flit
+from ..core.pipeline import BusyTracker, DelayLine
+from .base import Router
+
+
+class _Subswitch:
+    """One p×p subswitch with buffered inputs and outputs."""
+
+    def __init__(self, config: RouterConfig, row: int, col: int) -> None:
+        p, v = config.subswitch_size, config.num_vcs
+        self.config = config
+        self.row = row
+        self.col = col
+        self.in_bufs = [VcBufferBank(v, config.subswitch_in_depth) for _ in range(p)]
+        self.out_bufs = [VcBufferBank(v, config.subswitch_out_depth) for _ in range(p)]
+        self.in_arb = [RoundRobinArbiter(v) for _ in range(p)]
+        self.out_arb = [RoundRobinArbiter(p) for _ in range(p)]
+        self.in_busy = BusyTracker(p)
+        self.out_lane_busy = BusyTracker(p)
+        # Writer lock per (local output lane, out VC): packet id that may
+        # currently append flits — the *local* VC allocation.
+        self.writer: Dict[Tuple[int, int], int] = {}
+        # Flits traversing the subswitch toward an output buffer.
+        self.crossing: DelayLine[Tuple[Flit, int]] = DelayLine(config.flit_cycles)
+        # Count of flits resident in this subswitch's boundary buffers,
+        # maintained by the router so idle subswitches can be skipped.
+        self.resident = 0
+
+    def occupancy(self) -> int:
+        buffered = sum(b.occupancy() for b in self.in_bufs)
+        buffered += sum(b.occupancy() for b in self.out_bufs)
+        return buffered + len(self.crossing)
+
+
+class HierarchicalCrossbarRouter(Router):
+    """k×k crossbar built from (k/p)^2 buffered p×p subswitches."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        super().__init__(config)
+        k, v, p = config.radix, config.num_vcs, config.subswitch_size
+        s = config.num_subswitches_per_side
+        self.num_sub = s
+        self.sub: List[List[_Subswitch]] = [
+            [_Subswitch(config, r, c) for c in range(s)] for r in range(s)
+        ]
+        self._input_arb = [RoundRobinArbiter(v) for _ in range(k)]
+        # Output port arbiters: one per output, across the s subswitch
+        # output buffers of its column.
+        self._port_arb = [RoundRobinArbiter(s) for _ in range(k)]
+        # Per-output-port VC pick arbiters used at the final stage.
+        self._port_vc_arb = [
+            [RoundRobinArbiter(v) for _ in range(s)] for _ in range(k)
+        ]
+        # Credits at input i for subswitch input buffer (col, vc).
+        self._in_credits: List[List[List[CreditCounter]]] = [
+            [
+                [CreditCounter(config.subswitch_in_depth) for _ in range(v)]
+                for _ in range(s)
+            ]
+            for _ in range(k)
+        ]
+        self._credit_pipe = DelayedCreditPipe(config.credit_latency)
+        # Flits crossing the input row bus toward a subswitch input buffer.
+        self._to_sub: DelayLine[Tuple[Flit, int, int]] = DelayLine(
+            config.flit_cycles
+        )
+        self._in_flight = 0
+        self._head_delay = config.route_latency
+
+    # ------------------------------------------------------------------
+
+    def _advance(self) -> None:
+        self._land_flits()
+        self._output_stage()
+        self._subswitch_stage()
+        self._input_stage()
+        self._credit_pipe.step(self.cycle)
+
+    # ------------------------------------------------------------------
+    # Stage 1: input row bus into subswitch input buffers
+    # ------------------------------------------------------------------
+
+    def _input_stage(self) -> None:
+        now = self.cycle
+        p = self.config.subswitch_size
+        for i in range(self.config.radix):
+            if not self.input_busy.free(i, now):
+                continue
+            sendable = [
+                self._sendable(i, vc) for vc in range(self.config.num_vcs)
+            ]
+            vc = self._input_arb[i].arbitrate([f is not None for f in sendable])
+            if vc is None:
+                continue
+            flit = sendable[vc]
+            assert flit is not None
+            col = flit.dest // p
+            popped = self.inputs[i][vc].pop()
+            assert popped is flit
+            self._in_credits[i][col][vc].consume()
+            self.input_busy.reserve(i, now, self.config.flit_cycles)
+            self._to_sub.push(now, (flit, i, col))
+            self._in_flight += 1
+
+    def _sendable(self, i: int, vc: int) -> Optional[Flit]:
+        flit = self.inputs[i][vc].head()
+        if flit is None:
+            return None
+        if flit.is_head and self.cycle - flit.injected_at < self._head_delay:
+            return None
+        col = flit.dest // self.config.subswitch_size
+        if not self._in_credits[i][col][vc].available:
+            return None
+        return flit
+
+    def _land_flits(self) -> None:
+        p = self.config.subswitch_size
+        for flit, i, col in self._to_sub.pop_ready(self.cycle):
+            sub = self.sub[i // p][col]
+            sub.in_bufs[i % p][flit.vc].push(flit)
+            sub.resident += 1
+            self._in_flight -= 1
+        for r in range(self.num_sub):
+            for c in range(self.num_sub):
+                sub = self.sub[r][c]
+                if sub.crossing:
+                    for flit, lo in sub.crossing.pop_ready(self.cycle):
+                        sub.out_bufs[lo][flit.out_vc].push(flit)
+                        sub.resident += 1
+
+    # ------------------------------------------------------------------
+    # Stage 2: p×p subswitch traversal with local VC allocation
+    # ------------------------------------------------------------------
+
+    def _subswitch_stage(self) -> None:
+        for r in range(self.num_sub):
+            for c in range(self.num_sub):
+                sub = self.sub[r][c]
+                if sub.resident:
+                    self._run_subswitch(sub)
+
+    def _run_subswitch(self, sub: _Subswitch) -> None:
+        now = self.cycle
+        p, v = self.config.subswitch_size, self.config.num_vcs
+        # Local input arbitration: one candidate per subswitch input lane.
+        requests: Dict[int, List[Tuple[int, int, Flit]]] = {}
+        for li in range(p):
+            if not sub.in_busy.free(li, now):
+                continue
+            if sub.in_bufs[li].occupancy() == 0:
+                continue
+            cands = [self._sub_candidate(sub, li, vc) for vc in range(v)]
+            vc = sub.in_arb[li].arbitrate([cd is not None for cd in cands])
+            if vc is None:
+                continue
+            flit = cands[vc]
+            assert flit is not None
+            lo = flit.dest % p
+            requests.setdefault(lo, []).append((li, vc, flit))
+        # Local output arbitration per subswitch output lane.
+        for lo, reqs in requests.items():
+            if not sub.out_lane_busy.free(lo, now):
+                self.stats.switch_denials += len(reqs)
+                continue
+            lines = [False] * p
+            by_lane = {}
+            for li, vc, flit in reqs:
+                lines[li] = True
+                by_lane[li] = (vc, flit)
+            winner = sub.out_arb[lo].arbitrate(lines)
+            if winner is None:
+                continue
+            vc, flit = by_lane[winner]
+            self._sub_transmit(sub, winner, lo, vc, flit)
+            self.stats.switch_denials += len(reqs) - 1
+
+    def _sub_candidate(self, sub: _Subswitch, li: int, vc: int) -> Optional[Flit]:
+        """Head flit of subswitch input (li, vc) if it can cross now."""
+        flit = sub.in_bufs[li][vc].head()
+        if flit is None:
+            return None
+        p = self.config.subswitch_size
+        lo = flit.dest % p
+        out_vc = flit.vc  # identity VC mapping, as at the input stage
+        buf = sub.out_bufs[lo][out_vc]
+        if buf.full:
+            return None
+        writer = sub.writer.get((lo, out_vc))
+        if flit.is_head:
+            # Local VC allocation: the output buffer must not be held
+            # open by another packet.
+            if writer is not None and writer != flit.packet_id:
+                self.stats.spec_vc_failures += 1
+                return None
+        else:
+            if writer != flit.packet_id:
+                return None
+        return flit
+
+    def _sub_transmit(
+        self, sub: _Subswitch, li: int, lo: int, vc: int, flit: Flit
+    ) -> None:
+        popped = sub.in_bufs[li][vc].pop()
+        sub.resident -= 1
+        assert popped is flit
+        out_vc = flit.vc
+        flit.out_vc = out_vc
+        if flit.is_head:
+            sub.writer[(lo, out_vc)] = flit.packet_id
+        if flit.is_tail:
+            sub.writer.pop((lo, out_vc), None)
+        fc = self.config.flit_cycles
+        sub.in_busy.reserve(li, self.cycle, fc)
+        sub.out_lane_busy.reserve(lo, self.cycle, fc)
+        sub.crossing.push(self.cycle, (flit, lo))
+        # The subswitch input buffer slot is free: return the credit.
+        i = sub.row * self.config.subswitch_size + li
+        counter = self._in_credits[i][sub.col][vc]
+        self._credit_pipe.send(self.cycle, counter.restore)
+
+    # ------------------------------------------------------------------
+    # Stage 3: output port pulls from its column's output buffers
+    # ------------------------------------------------------------------
+
+    def _output_stage(self) -> None:
+        now = self.cycle
+        p = self.config.subswitch_size
+        for j in range(self.config.radix):
+            if not self.output_busy.free(j, now):
+                continue
+            c, lo = j // p, j % p
+            candidates: List[Optional[Tuple[int, Flit]]] = []
+            for r in range(self.num_sub):
+                candidates.append(self._port_candidate(j, r, c, lo))
+            winner = self._port_arb[j].arbitrate(
+                [cd is not None for cd in candidates]
+            )
+            if winner is None:
+                continue
+            cand = candidates[winner]
+            assert cand is not None
+            vc, flit = cand
+            self._port_transmit(j, winner, c, lo, vc, flit)
+
+    def _port_candidate(
+        self, j: int, r: int, c: int, lo: int
+    ) -> Optional[Tuple[int, Flit]]:
+        """Pick a sendable VC from subswitch (r, c)'s output buffer lane."""
+        sub = self.sub[r][c]
+        if sub.resident == 0:
+            return None
+        bank = sub.out_bufs[lo]
+        ready = []
+        for vc in range(self.config.num_vcs):
+            flit = bank[vc].head()
+            ready.append(flit is not None and self._global_vc_ok(j, flit))
+        vc = self._port_vc_arb[j][r].arbitrate(ready)
+        if vc is None:
+            return None
+        flit = bank[vc].head()
+        assert flit is not None
+        return vc, flit
+
+    def _global_vc_ok(self, j: int, flit: Flit) -> bool:
+        """Global VC allocation check at output j (among subswitches)."""
+        state = self.output_vcs[j]
+        assert flit.out_vc is not None
+        if flit.is_head:
+            return (
+                state.is_free(flit.out_vc)
+                or state.owner(flit.out_vc) == flit.packet_id
+            )
+        return state.owner(flit.out_vc) == flit.packet_id
+
+    def _port_transmit(
+        self, j: int, r: int, c: int, lo: int, vc: int, flit: Flit
+    ) -> None:
+        popped = self.sub[r][c].out_bufs[lo][vc].pop()
+        self.sub[r][c].resident -= 1
+        assert popped is flit
+        if flit.is_head:
+            self.output_vcs[j].allocate(flit.out_vc, flit.packet_id)
+        self._start_traversal(flit, j)
+
+    # ------------------------------------------------------------------
+
+    def _extra_occupancy(self) -> int:
+        inside = sum(
+            self.sub[r][c].occupancy()
+            for r in range(self.num_sub)
+            for c in range(self.num_sub)
+        )
+        return inside + self._in_flight

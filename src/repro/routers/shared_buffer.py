@@ -1,0 +1,174 @@
+"""Buffered crossbar *without* per-VC crosspoint buffers (Section 5.4).
+
+One approach to reducing the area of the fully buffered crossbar is a
+single buffer per crosspoint shared among the VCs, cutting crosspoint
+storage by a factor of v.  The catch (Section 5.4): a speculative flit
+cannot be allowed to wait in the shared buffer for output VC allocation
+— it would block every VC and could deadlock.  So flits are sent
+speculatively while "kept in the input buffer until an ACK is received
+from output VC allocation"; a flit that fails VC allocation is removed
+from the crosspoint and a NACK returns to the input, which presents the
+flit again later.
+
+Protocol implemented here:
+
+* The input launches a *copy* of the head-of-queue flit to the
+  crosspoint (consuming a shared-buffer credit) and marks the VC as
+  awaiting a response; the original flit stays in the input buffer.
+* On arrival at the crosspoint, a head flit attempts output VC
+  allocation (its input-VC class).  Success (or any body/tail flit)
+  enqueues the flit and returns an ACK; the input then retires the
+  original and the VC may proceed.  Failure returns a NACK and restores
+  the credit; the input retries the same flit later.
+* The output side is the same two-stage (crosspoint, then k-to-1
+  local/global) arbitration as the fully buffered crossbar, except the
+  per-crosspoint stage degenerates to the single shared FIFO head.
+
+The repeated send/NACK cycles of a blocked head flit waste input-row
+bandwidth, and input buffer slots are held until ACKs return — the
+costs the paper cites for this organization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..allocation.switch_alloc import OutputArbiterBank
+from ..core.arbiter import RoundRobinArbiter
+from ..core.buffers import FlitQueue
+from ..core.config import RouterConfig
+from ..core.credit import CreditCounter
+from ..core.flit import Flit
+from ..core.pipeline import DelayLine
+from .base import Router
+
+_ACK = True
+_NACK = False
+
+
+class SharedBufferCrossbarRouter(Router):
+    """Crossbar with one shared buffer per crosspoint and ACK/NACK flow."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        super().__init__(config)
+        k = config.radix
+        depth = config.crosspoint_buffer_depth
+        self.crosspoints: List[List[FlitQueue]] = [
+            [FlitQueue(depth) for _ in range(k)] for _ in range(k)
+        ]
+        self._credits: List[List[CreditCounter]] = [
+            [CreditCounter(depth) for _ in range(k)] for _ in range(k)
+        ]
+        self._input_arb = [RoundRobinArbiter(config.num_vcs) for _ in range(k)]
+        self._output_arb = OutputArbiterBank(k, k, config.local_group_size)
+        # Per (input, vc): True while a launched flit awaits ACK/NACK.
+        self._awaiting = [[False] * config.num_vcs for _ in range(k)]
+        self._to_crosspoint: DelayLine[Tuple[Flit, int, int]] = DelayLine(
+            config.flit_cycles
+        )
+        self._in_flight = 0
+        # (input, vc, ack?) responses travelling back to the inputs.
+        self._responses: DelayLine[Tuple[int, int, bool]] = DelayLine(
+            config.credit_latency
+        )
+        self._credit_return: DelayLine[CreditCounter] = DelayLine(
+            config.credit_latency
+        )
+        self._head_delay = config.route_latency
+
+    # ------------------------------------------------------------------
+
+    def _advance(self) -> None:
+        self._deliver_responses()
+        self._land_crosspoint_flits()
+        self._output_stage()
+        self._input_stage()
+        for counter in self._credit_return.pop_ready(self.cycle):
+            counter.restore()
+
+    # ------------------------------------------------------------------
+
+    def _input_stage(self) -> None:
+        now = self.cycle
+        for i in range(self.config.radix):
+            if not self.input_busy.free(i, now):
+                continue
+            sendable = [
+                self._sendable(i, vc) for vc in range(self.config.num_vcs)
+            ]
+            vc = self._input_arb[i].arbitrate([f is not None for f in sendable])
+            if vc is None:
+                continue
+            flit = sendable[vc]
+            assert flit is not None
+            self._credits[i][flit.dest].consume()
+            self._awaiting[i][vc] = True
+            self.input_busy.reserve(i, now, self.config.flit_cycles)
+            self._to_crosspoint.push(now, (flit, i, flit.dest))
+            self._in_flight += 1
+
+    def _sendable(self, i: int, vc: int) -> Optional[Flit]:
+        if self._awaiting[i][vc]:
+            return None
+        flit = self.inputs[i][vc].head()
+        if flit is None:
+            return None
+        if flit.is_head and self.cycle - flit.injected_at < self._head_delay:
+            return None
+        if not self._credits[i][flit.dest].available:
+            return None
+        return flit
+
+    def _land_crosspoint_flits(self) -> None:
+        for flit, i, j in self._to_crosspoint.pop_ready(self.cycle):
+            self._in_flight -= 1
+            if flit.is_head:
+                state = self.output_vcs[j]
+                claim = flit.vc
+                ok = state.is_free(claim) or state.owner(claim) == flit.packet_id
+                if not ok:
+                    # NACK: the flit is dropped at the crosspoint and
+                    # its credit restored; the input will retry.
+                    self.stats.nacks += 1
+                    self.stats.spec_vc_failures += 1
+                    self._credits[i][j].restore()
+                    self._responses.push(self.cycle, (i, flit.vc, _NACK))
+                    continue
+                state.allocate(claim, flit.packet_id)
+            flit.out_vc = flit.vc
+            self.crosspoints[i][j].push(flit)
+            self._responses.push(self.cycle, (i, flit.vc, _ACK))
+
+    def _deliver_responses(self) -> None:
+        for i, vc, ack in self._responses.pop_ready(self.cycle):
+            self._awaiting[i][vc] = False
+            if ack:
+                # Retire the original copy held at the input.
+                self.inputs[i][vc].pop()
+
+    # ------------------------------------------------------------------
+
+    def _output_stage(self) -> None:
+        now = self.cycle
+        k = self.config.radix
+        for j in range(k):
+            if not self.output_busy.free(j, now):
+                continue
+            heads = [self.crosspoints[i][j].head() for i in range(k)]
+            winner = self._output_arb.grant(
+                j, [(i, False) for i, h in enumerate(heads) if h is not None]
+            )
+            if winner is None:
+                continue
+            flit = self.crosspoints[winner][j].pop()
+            self._start_traversal(flit, j)
+            self._credit_return.push(now, self._credits[winner][j])
+
+    # ------------------------------------------------------------------
+
+    def _extra_occupancy(self) -> int:
+        buffered = sum(len(q) for row in self.crosspoints for q in row)
+        # Original flits retired on ACK are double-counted while a copy
+        # is in flight or buffered; occupancy is used only as an
+        # emptiness test, for which the overcount is harmless.
+        return buffered + self._in_flight + len(self._responses)

@@ -1,0 +1,223 @@
+"""Traffic patterns (Table 1 of the paper, plus the worst-case pattern).
+
+A traffic pattern maps a source port to a destination port, possibly
+randomly.  The paper evaluates:
+
+* **uniform random** — every output equally likely (Section 4.3);
+* **diagonal** — "input i sends packets only to output i and (i+1)
+  mod k" (Table 1);
+* **hotspot** — "uniform traffic pattern with h = 8 outputs being
+  oversubscribed.  For each input, 50% of the traffic is sent to the
+  h outputs and the other 50% is randomly distributed" (Table 1);
+* **worst-case hierarchical** (Section 6) — each group of inputs
+  sharing a row of subswitches sends only to outputs within a single
+  column of subswitches, concentrating all traffic into k/p of the
+  (k/p)^2 subswitches;
+
+plus two standard patterns (transpose, bit-complement) offered for
+experimentation beyond the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+class TrafficPattern:
+    """Maps a source port to a destination port for each new packet."""
+
+    def __init__(self, num_ports: int) -> None:
+        if num_ports < 2:
+            raise ValueError(f"num_ports must be >= 2, got {num_ports}")
+        self.num_ports = num_ports
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        """Destination port for a packet from ``src``."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class UniformRandom(TrafficPattern):
+    """Every output is equally likely for every input."""
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        return rng.randrange(self.num_ports)
+
+
+class Diagonal(TrafficPattern):
+    """Input i sends only to outputs i and (i+1) mod k (Table 1).
+
+    ``fraction_same`` is the share of packets sent to output i (the
+    remainder goes to (i+1) mod k); the paper does not specify a split,
+    so an even split is the default.
+    """
+
+    def __init__(self, num_ports: int, fraction_same: float = 0.5) -> None:
+        super().__init__(num_ports)
+        if not 0.0 <= fraction_same <= 1.0:
+            raise ValueError(
+                f"fraction_same must be in [0, 1], got {fraction_same}"
+            )
+        self.fraction_same = fraction_same
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        if rng.random() < self.fraction_same:
+            return src % self.num_ports
+        return (src + 1) % self.num_ports
+
+
+class Hotspot(TrafficPattern):
+    """h oversubscribed outputs receive ``hot_fraction`` of all traffic.
+
+    Table 1: h = 8, with 50% of each input's traffic spread uniformly
+    over the hot outputs and the rest uniform over all outputs.
+    """
+
+    def __init__(
+        self,
+        num_ports: int,
+        num_hotspots: int = 8,
+        hot_fraction: float = 0.5,
+        hotspots: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(num_ports)
+        if hotspots is None:
+            if not 1 <= num_hotspots <= num_ports:
+                raise ValueError(
+                    f"num_hotspots must be in [1, {num_ports}], got "
+                    f"{num_hotspots}"
+                )
+            self.hotspots: List[int] = list(range(num_hotspots))
+        else:
+            self.hotspots = list(hotspots)
+            if not self.hotspots:
+                raise ValueError("hotspots must be non-empty")
+            for h in self.hotspots:
+                if not 0 <= h < num_ports:
+                    raise ValueError(f"hotspot {h} out of range")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        self.hot_fraction = hot_fraction
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        if rng.random() < self.hot_fraction:
+            return rng.choice(self.hotspots)
+        return rng.randrange(self.num_ports)
+
+
+class WorstCaseHierarchical(TrafficPattern):
+    """Worst-case pattern for the hierarchical crossbar (Section 6).
+
+    "Each group of inputs that are connected to the same row of
+    subswitches send packets to a randomly selected output within a
+    group of outputs that are connected to the same column of
+    subswitches" — concentrating all traffic into the diagonal
+    subswitches (row r targets column r).
+    """
+
+    def __init__(self, num_ports: int, subswitch_size: int) -> None:
+        super().__init__(num_ports)
+        if num_ports % subswitch_size != 0:
+            raise ValueError(
+                f"subswitch_size {subswitch_size} must divide num_ports "
+                f"{num_ports}"
+            )
+        self.subswitch_size = subswitch_size
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        p = self.subswitch_size
+        row = src // p
+        base = row * p  # column index == row index (diagonal)
+        return base + rng.randrange(p)
+
+
+class Transpose(TrafficPattern):
+    """Matrix-transpose permutation on a square port grid (extension)."""
+
+    def __init__(self, num_ports: int) -> None:
+        super().__init__(num_ports)
+        side = int(round(num_ports ** 0.5))
+        if side * side != num_ports:
+            raise ValueError(
+                f"transpose requires a square port count, got {num_ports}"
+            )
+        self.side = side
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        row, col = divmod(src, self.side)
+        return col * self.side + row
+
+
+class BitComplement(TrafficPattern):
+    """Destination is the bitwise complement of the source (extension)."""
+
+    def __init__(self, num_ports: int) -> None:
+        super().__init__(num_ports)
+        if num_ports & (num_ports - 1):
+            raise ValueError(
+                f"bit-complement requires a power-of-two port count, got "
+                f"{num_ports}"
+            )
+        self.mask = num_ports - 1
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        return (~src) & self.mask
+
+
+class Permutation(TrafficPattern):
+    """Fixed permutation supplied explicitly."""
+
+    def __init__(self, mapping: Sequence[int]) -> None:
+        super().__init__(len(mapping))
+        if sorted(mapping) != list(range(len(mapping))):
+            raise ValueError("mapping must be a permutation of 0..k-1")
+        self.mapping = list(mapping)
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        return self.mapping[src]
+
+
+class Tornado(TrafficPattern):
+    """Each input sends halfway around the port space (extension).
+
+    dest = (src + ceil(k/2) - 1) mod k — the classic adversary for
+    ring-like topologies and a useful stress permutation for switches.
+    """
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        k = self.num_ports
+        return (src + (k + 1) // 2 - 1) % k
+
+
+class Shuffle(TrafficPattern):
+    """Perfect-shuffle permutation: rotate the address left one bit."""
+
+    def __init__(self, num_ports: int) -> None:
+        super().__init__(num_ports)
+        if num_ports & (num_ports - 1):
+            raise ValueError(
+                f"shuffle requires a power-of-two port count, got {num_ports}"
+            )
+        self.bits = num_ports.bit_length() - 1
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        msb = (src >> (self.bits - 1)) & 1
+        return ((src << 1) | msb) & (self.num_ports - 1)
+
+
+class NeighborExchange(TrafficPattern):
+    """Even inputs swap with the next odd input and vice versa."""
+
+    def __init__(self, num_ports: int) -> None:
+        super().__init__(num_ports)
+        if num_ports % 2:
+            raise ValueError(
+                f"neighbor exchange needs an even port count, got {num_ports}"
+            )
+
+    def dest(self, src: int, rng: random.Random) -> int:
+        return src ^ 1

@@ -1,0 +1,77 @@
+"""Per-input packet sources.
+
+A :class:`TrafficSource` sits in front of one router input: each cycle
+it may generate a packet (injection process), picks its destination
+(traffic pattern), splits it into flits, and queues the flits in an
+unbounded source FIFO.  The harness drains this FIFO into the router's
+input buffers at channel bandwidth (one flit per ``flit_cycles``
+cycles), assigning each packet an input VC round-robin among VCs with
+buffer space — the standard injection-queue model that matches the
+paper's latency measurement (latency runs from packet *generation* to
+tail-flit ejection, so source queueing counts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.flit import Flit, make_packet
+from ..core.rng import derive_rng
+from .injection import InjectionProcess
+from .patterns import TrafficPattern
+
+
+class TrafficSource:
+    """Generates packets for one input port."""
+
+    def __init__(
+        self,
+        input_id: int,
+        pattern: TrafficPattern,
+        injection: InjectionProcess,
+        packet_size: int,
+        seed: int,
+    ) -> None:
+        if packet_size < 1:
+            raise ValueError(f"packet_size must be >= 1, got {packet_size}")
+        self.input_id = input_id
+        self.pattern = pattern
+        self.injection = injection
+        self.packet_size = packet_size
+        self.queue: Deque[Flit] = deque()
+        self._rng = derive_rng(seed, "traffic", input_id)
+        self.packets_generated = 0
+        self.flits_generated = 0
+
+    def generate(self, now: int, measured: bool) -> Optional[int]:
+        """Maybe generate one packet at cycle ``now``.
+
+        Returns the packet id if a packet was generated, else None.
+        ``measured`` marks the packet as part of the measurement sample.
+        """
+        if not self.injection.should_inject(self._rng):
+            return None
+        dest = self.pattern.dest(self.input_id, self._rng)
+        flits = make_packet(
+            dest=dest,
+            size=self.packet_size,
+            src=self.input_id,
+            created_at=now,
+            measured=measured,
+        )
+        self.queue.extend(flits)
+        self.packets_generated += 1
+        self.flits_generated += len(flits)
+        return flits[0].packet_id
+
+    def head(self) -> Optional[Flit]:
+        """Next flit waiting to enter the router, or None."""
+        return self.queue[0] if self.queue else None
+
+    def pop(self) -> Flit:
+        return self.queue.popleft()
+
+    def backlog(self) -> int:
+        """Flits waiting in the (unbounded) source queue."""
+        return len(self.queue)

@@ -1,0 +1,119 @@
+"""Tests for the allocation package (OutputArbiterBank, CVA/OVA, tracker)."""
+
+import math
+
+import pytest
+
+from repro.allocation.speculation import SpeculationTracker
+from repro.allocation.switch_alloc import OutputArbiterBank
+from repro.allocation.vc_alloc import CvaPolicy, OvaPolicy
+from repro.core.vcstate import OutputVcState
+
+
+class TestOutputArbiterBank:
+    def test_no_requests(self):
+        bank = OutputArbiterBank(4, 8, 4)
+        assert bank.grant(0, []) is None
+
+    def test_single_request_granted(self):
+        bank = OutputArbiterBank(4, 8, 4)
+        assert bank.grant(2, [(5, False)]) == 5
+
+    def test_independent_outputs(self):
+        bank = OutputArbiterBank(2, 4, 2)
+        assert bank.grant(0, [(1, False)]) == 1
+        assert bank.grant(1, [(1, False)]) == 1
+
+    def test_round_robin_across_grants(self):
+        bank = OutputArbiterBank(1, 4, 4)
+        reqs = [(i, False) for i in range(4)]
+        winners = [bank.grant(0, reqs) for _ in range(8)]
+        assert sorted(set(winners)) == [0, 1, 2, 3]
+
+    def test_prioritized_nonspec_first(self):
+        bank = OutputArbiterBank(1, 4, 4, prioritized=True)
+        winner = bank.grant(0, [(0, True), (3, False), (1, True)])
+        assert winner == 3
+
+    def test_prioritized_spec_fallback(self):
+        bank = OutputArbiterBank(1, 4, 4, prioritized=True)
+        winner = bank.grant(0, [(2, True)])
+        assert winner == 2
+
+
+class TestCvaPolicy:
+    def test_free_vc_admissible(self):
+        state = OutputVcState(2)
+        assert CvaPolicy().admissible(state, 0, packet_id=1)
+
+    def test_busy_vc_not_admissible(self):
+        state = OutputVcState(2)
+        state.allocate(0, packet_id=9)
+        assert not CvaPolicy().admissible(state, 0, packet_id=1)
+
+    def test_own_vc_admissible(self):
+        state = OutputVcState(2)
+        state.allocate(0, packet_id=1)
+        assert CvaPolicy().admissible(state, 0, packet_id=1)
+
+    def test_no_extra_latency(self):
+        assert CvaPolicy.extra_grant_latency == 0
+
+
+class TestOvaPolicy:
+    def test_allocates_free_vc(self):
+        policy = OvaPolicy(num_outputs=2, num_vcs=2)
+        state = OutputVcState(2)
+        vc = policy.allocate(0, state)
+        assert vc in (0, 1)
+
+    def test_returns_none_when_exhausted(self):
+        policy = OvaPolicy(1, 2)
+        state = OutputVcState(2)
+        state.allocate(0, 1)
+        state.allocate(1, 2)
+        assert policy.allocate(0, state) is None
+
+    def test_round_robins_over_vcs(self):
+        policy = OvaPolicy(1, 4)
+        state = OutputVcState(4)
+        first = policy.allocate(0, state)
+        second = policy.allocate(0, state)
+        assert first != second
+
+    def test_extra_latency_configurable(self):
+        assert OvaPolicy(1, 2, extra_latency=2).extra_grant_latency == 2
+
+
+class TestSpeculationTracker:
+    def test_counts(self):
+        t = SpeculationTracker()
+        t.record_request(True)
+        t.record_request(True)
+        t.record_request(False)
+        t.record_grant(True)
+        t.record_grant(False)
+        t.record_kill()
+        assert t.spec_requests == 2
+        assert t.nonspec_requests == 1
+        assert t.spec_grants == 1
+        assert t.nonspec_grants == 1
+        assert t.spec_kills == 1
+
+    def test_success_rate(self):
+        t = SpeculationTracker()
+        t.record_request(True)
+        t.record_request(True)
+        t.record_grant(True)
+        assert t.spec_success_rate == 0.5
+
+    def test_success_rate_nan_without_requests(self):
+        assert math.isnan(SpeculationTracker().spec_success_rate)
+
+    def test_wasted_fraction(self):
+        t = SpeculationTracker()
+        assert t.wasted_bid_fraction == 0.0
+        t.record_request(True)
+        t.record_request(False)
+        t.record_kill()
+        assert t.wasted_bid_fraction == 0.5

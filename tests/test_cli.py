@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ARCHITECTURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.arch == "hierarchical"
+        assert args.radix == 32
+
+    def test_all_architectures_registered(self):
+        assert set(ARCHITECTURES) == {
+            "baseline", "distributed", "buffered", "shared-buffer",
+            "hierarchical", "voq",
+        }
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--arch", "crossbar9000"])
+
+
+class TestCommands:
+    def test_radix_command(self, capsys):
+        rc = main([
+            "radix", "--bandwidth", "0.4e12", "--delay", "25e-9",
+            "--nodes", "1024", "--packet", "128",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "k* = 40" in out
+
+    def test_area_command(self, capsys):
+        rc = main(["area", "--radix", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hierarchical" in out
+        assert "buffered" in out
+
+    def test_sweep_command_small(self, capsys):
+        rc = main([
+            "sweep", "--arch", "buffered", "--radix", "8",
+            "--subswitch", "4", "--loads", "0.3",
+            "--warmup", "100", "--measure", "200", "--drain", "2000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "buffered" in out
+        assert "0.3" in out
+
+    def test_sweep_with_plot(self, capsys):
+        rc = main([
+            "sweep", "--arch", "baseline", "--radix", "8",
+            "--subswitch", "4", "--loads", "0.2,0.4", "--plot",
+            "--warmup", "100", "--measure", "200", "--drain", "2000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered load" in out
+
+    def test_saturate_single_arch(self, capsys):
+        rc = main([
+            "saturate", "--arch", "voq", "--radix", "8",
+            "--subswitch", "4", "--warmup", "200", "--measure", "300",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "voq" in out
+
+    def test_network_command(self, capsys):
+        rc = main([
+            "network", "--load", "0.2", "--high-radix", "8",
+            "--high-levels", "2", "--low-radix", "4", "--low-levels", "3",
+            "--warmup", "200", "--measure", "300", "--drain", "2000",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "high-radix" in out and "low-radix" in out
+
+    def test_worst_case_pattern(self, capsys):
+        rc = main([
+            "sweep", "--arch", "hierarchical", "--radix", "8",
+            "--subswitch", "4", "--pattern", "worst-case",
+            "--loads", "0.3", "--warmup", "100", "--measure", "200",
+            "--drain", "2000",
+        ])
+        assert rc == 0
+
+
+class TestPipelineCommand:
+    def test_pipeline_diagrams(self, capsys):
+        rc = main(["pipeline", "--radix", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(b)" in out
+        assert "SA1*" in out
+        assert "head-flit latency" in out

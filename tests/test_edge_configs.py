@@ -1,0 +1,160 @@
+"""Boundary configurations across all router models.
+
+The paper's design point is k=64, v=4, 4-cycle flits — but the models
+must stay correct at the edges of the configuration space: single-cycle
+flits (wide datapath), a single VC, tiny radix, deep/shallow buffers,
+and scheme combinations the benchmarks never exercise together.
+"""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.harness.experiment import SwitchSimulation, SweepSettings
+from repro.routers import (
+    BaselineRouter,
+    BufferedCrossbarRouter,
+    DistributedRouter,
+    HierarchicalCrossbarRouter,
+    SharedBufferCrossbarRouter,
+    VoqRouter,
+)
+
+ALL_ROUTERS = [
+    BaselineRouter,
+    DistributedRouter,
+    BufferedCrossbarRouter,
+    SharedBufferCrossbarRouter,
+    HierarchicalCrossbarRouter,
+    VoqRouter,
+]
+
+FAST = SweepSettings(warmup=200, measure=400, drain=4000)
+
+
+def _run(router, load=0.4, packet_size=1):
+    sim = SwitchSimulation(router, load=load, packet_size=packet_size)
+    return sim.run(FAST)
+
+
+@pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+class TestSingleCycleFlits:
+    def test_flit_cycles_one(self, router_cls):
+        """With a full-width datapath (1-cycle flits) everything still
+        flows.
+
+        The distributed router is the exception to "throughput tracks
+        offered load" here: its input controllers keep one request in
+        flight, so an input can accept at most one flit per allocation
+        round trip (sa_latency + 1 cycles).  The paper's design point
+        hides this entirely — its 4-cycle flit serialization covers the
+        3-stage allocation latency — but at flit_cycles=1 the allocator
+        becomes the input bottleneck (~1/4 flits/cycle).
+        """
+        cfg = RouterConfig(radix=8, num_vcs=2, flit_cycles=1,
+                           subswitch_size=4, local_group_size=4)
+        r = _run(router_cls(cfg))
+        assert r.packets_measured > 0
+        if router_cls is DistributedRouter:
+            ceiling = 1.0 / (cfg.sa_latency + 1)
+            assert r.throughput > ceiling * 0.9
+        else:
+            assert r.throughput == pytest.approx(0.4, abs=0.08)
+            assert not r.saturated
+
+
+@pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+class TestSingleVc:
+    def test_one_vc_functional(self, router_cls):
+        cfg = RouterConfig(radix=8, num_vcs=1, subswitch_size=4,
+                           local_group_size=4)
+        r = _run(router_cls(cfg), load=0.3, packet_size=2)
+        assert r.packets_measured > 0
+        assert not r.saturated
+
+
+@pytest.mark.parametrize("router_cls", ALL_ROUTERS)
+class TestTinyRadix:
+    def test_radix_two(self, router_cls):
+        cfg = RouterConfig(radix=2, num_vcs=2, subswitch_size=1,
+                           local_group_size=2)
+        r = _run(router_cls(cfg), load=0.3)
+        assert r.packets_measured > 0
+
+    def test_radix_four_subswitch_two(self, router_cls):
+        cfg = RouterConfig(radix=4, num_vcs=2, subswitch_size=2,
+                           local_group_size=2)
+        r = _run(router_cls(cfg), load=0.4)
+        assert r.packets_measured > 0
+
+
+class TestSchemeCombinations:
+    def test_ova_with_prioritization(self):
+        """OVA and the two-arbiter allocator compose."""
+        cfg = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                           local_group_size=4, vc_allocator="ova",
+                           prioritize_nonspeculative=True)
+        r = _run(DistributedRouter(cfg), load=0.5, packet_size=4)
+        assert r.packets_measured > 0
+
+    def test_nonspeculative_ova(self):
+        cfg = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                           local_group_size=4, vc_allocator="ova",
+                           speculative=False)
+        r = _run(DistributedRouter(cfg), load=0.4, packet_size=3)
+        assert r.packets_measured > 0
+
+    def test_asymmetric_subswitch_depths(self):
+        cfg = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                           local_group_size=4,
+                           subswitch_input_depth=2,
+                           subswitch_output_depth=12)
+        r = _run(HierarchicalCrossbarRouter(cfg), load=0.5, packet_size=4)
+        assert r.packets_measured > 0
+
+    def test_group_size_exceeding_radix(self):
+        """m > k collapses to a single local group."""
+        cfg = RouterConfig(radix=4, num_vcs=2, subswitch_size=2,
+                           local_group_size=64)
+        r = _run(DistributedRouter(cfg), load=0.4)
+        assert r.packets_measured > 0
+
+    def test_deep_sa_pipeline(self):
+        """Very high radix needs more arbitration stages; sa_latency
+        models the deeper pipeline and costs only latency."""
+        base = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                            local_group_size=4, sa_latency=1)
+        deep = base.with_(sa_latency=8)
+        quick = SweepSettings(warmup=200, measure=500, drain=4000)
+        shallow_r = SwitchSimulation(
+            DistributedRouter(base), load=0.2).run(quick)
+        deep_r = SwitchSimulation(
+            DistributedRouter(deep), load=0.2).run(quick)
+        assert deep_r.avg_latency > shallow_r.avg_latency + 5
+
+    def test_zero_sa_latency(self):
+        cfg = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                           local_group_size=4, sa_latency=0)
+        r = _run(DistributedRouter(cfg), load=0.4)
+        assert r.packets_measured > 0
+
+    def test_shared_buffer_deep_crosspoints(self):
+        cfg = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                           local_group_size=4, crosspoint_buffer_depth=32)
+        r = _run(SharedBufferCrossbarRouter(cfg), load=0.6, packet_size=4)
+        assert r.packets_measured > 0
+
+    def test_voq_many_iterations(self):
+        cfg = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                           local_group_size=4)
+        r = _run(VoqRouter(cfg, iterations=8), load=0.6)
+        assert r.packets_measured > 0
+
+    def test_large_packets_small_buffers(self):
+        """Packets longer than every buffer still wormhole through."""
+        cfg = RouterConfig(radix=8, num_vcs=2, subswitch_size=4,
+                           local_group_size=4, input_buffer_depth=2,
+                           crosspoint_buffer_depth=1)
+        for cls in (BufferedCrossbarRouter, HierarchicalCrossbarRouter):
+            r = _run(cls(cfg), load=0.2, packet_size=8)
+            assert r.packets_measured > 0, cls.__name__
+            assert not r.saturated, cls.__name__

@@ -1,0 +1,89 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess with its smallest practical
+arguments, so broken imports or API drift in `examples/` fail the test
+suite rather than the first user who tries them.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_example_files_exist():
+    expected = {
+        "quickstart.py",
+        "compare_architectures.py",
+        "design_sweep.py",
+        "clos_network.py",
+        "traffic_study.py",
+        "mesh_vs_clos.py",
+        "debug_with_metrics.py",
+        "reproduce_figures.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "saturation throughput" in out
+
+
+@pytest.mark.slow
+def test_compare_architectures_runs():
+    out = _run("compare_architectures.py", "--radix", "8", "--load", "0.5")
+    assert "hierarchical p=8" in out
+
+
+@pytest.mark.slow
+def test_design_sweep_runs():
+    out = _run("design_sweep.py", "--bandwidth", "0.4e12", "--delay",
+               "25e-9", "--nodes", "1024", "--packet", "128")
+    assert "k* = 40" in out
+
+
+@pytest.mark.slow
+def test_clos_network_runs():
+    out = _run("clos_network.py")
+    assert "high-radix" in out
+
+
+@pytest.mark.slow
+def test_traffic_study_runs():
+    out = _run("traffic_study.py", "--radix", "8")
+    assert "hotspot" in out
+
+
+@pytest.mark.slow
+def test_mesh_vs_clos_runs():
+    out = _run("mesh_vs_clos.py")
+    assert "mesh" in out
+
+
+@pytest.mark.slow
+def test_debug_with_metrics_runs():
+    out = _run("debug_with_metrics.py", "--cycles", "400", "--load", "0.5")
+    assert "invariants held" in out
+
+
+@pytest.mark.slow
+def test_reproduce_figures_analytic():
+    out = _run("reproduce_figures.py", "--figures", "2,3")
+    assert "k*" in out

@@ -1,0 +1,215 @@
+"""Behavioral tests for the hierarchical crossbar (Section 6)."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.flit import make_packet
+from repro.harness.experiment import SwitchSimulation, SweepSettings
+from repro.routers.hierarchical import HierarchicalCrossbarRouter
+from repro.traffic.patterns import UniformRandom, WorstCaseHierarchical
+
+CFG = RouterConfig(radix=8, num_vcs=2, subswitch_size=4, local_group_size=4)
+FAST = SweepSettings(warmup=400, measure=800, drain=50)
+
+
+def _drain(router, max_cycles=1500):
+    out = []
+    for _ in range(max_cycles):
+        router.step()
+        out.extend(router.drain_ejected())
+        if router.idle():
+            break
+    return out
+
+
+class TestStructure:
+    def test_subswitch_grid_shape(self):
+        router = HierarchicalCrossbarRouter(CFG)
+        assert router.num_sub == 2
+        assert len(router.sub) == 2
+        assert len(router.sub[0]) == 2
+
+    def test_p_equals_k_single_subswitch(self):
+        cfg = CFG.with_(subswitch_size=8)
+        router = HierarchicalCrossbarRouter(cfg)
+        assert router.num_sub == 1
+
+    def test_p_of_one(self):
+        """p=1 degenerates to a fully buffered crossbar structure."""
+        cfg = CFG.with_(subswitch_size=1)
+        router = HierarchicalCrossbarRouter(cfg)
+        assert router.num_sub == 8
+        (flit,) = make_packet(dest=5, size=1, src=2)
+        router.accept(2, flit)
+        out = _drain(router)
+        assert len(out) == 1
+
+
+class TestRoutingThroughSubswitches:
+    @pytest.mark.parametrize("src,dest", [(0, 0), (0, 7), (7, 0), (3, 5)])
+    def test_any_input_reaches_any_output(self, src, dest):
+        router = HierarchicalCrossbarRouter(CFG)
+        (flit,) = make_packet(dest=dest, size=1, src=src)
+        router.accept(src, flit)
+        out = _drain(router)
+        assert len(out) == 1
+        assert out[0][0].dest == dest
+
+    def test_multi_flit_packet_through_subswitch(self):
+        router = HierarchicalCrossbarRouter(CFG)
+        flits = make_packet(dest=6, size=5, src=1)
+        for f in flits:
+            router.accept(1, f)
+        out = _drain(router)
+        assert [f.flit_index for f, _ in out] == [0, 1, 2, 3, 4]
+
+    def test_deeper_pipeline_than_flat_buffered(self):
+        """Two stages of buffering add latency relative to the fully
+        buffered crossbar's single crosspoint hop."""
+        from repro.routers.buffered import BufferedCrossbarRouter
+
+        def zero_load(cls):
+            r = cls(CFG)
+            (flit,) = make_packet(dest=7, size=1, src=0)
+            r.accept(0, flit)
+            (_, cycle), = _drain(r)
+            return cycle
+
+        assert zero_load(HierarchicalCrossbarRouter) > zero_load(
+            BufferedCrossbarRouter
+        )
+
+
+class TestLocalVcAllocation:
+    def test_writer_lock_prevents_interleave(self):
+        """Two packets from different subswitch inputs bound for the
+        same output VC must not interleave in the output buffer."""
+        cfg = CFG.with_(num_vcs=1)
+        router = HierarchicalCrossbarRouter(cfg)
+        pa = make_packet(dest=2, size=4, src=0)
+        pb = make_packet(dest=2, size=4, src=1)
+        for f in pa:
+            router.accept(0, f)
+        for f in pb:
+            router.accept(1, f)
+        out = _drain(router, max_cycles=3000)
+        assert len(out) == 8
+        ids = [f.packet_id for f, _ in out]
+        # One packet fully precedes the other.
+        switch_points = sum(
+            1 for a, b in zip(ids, ids[1:]) if a != b
+        )
+        assert switch_points == 1
+
+    def test_local_vc_failures_counted(self):
+        cfg = CFG.with_(num_vcs=1)
+        router = HierarchicalCrossbarRouter(cfg)
+        for src in (0, 1):
+            for f in make_packet(dest=2, size=6, src=src):
+                router.accept(src, f)
+        _drain(router, max_cycles=3000)
+        assert router.stats.spec_vc_failures > 0
+
+
+class TestPerformance:
+    def test_near_buffered_on_uniform(self):
+        """Figure 17(a): on uniform random traffic the hierarchical
+        crossbar performs about as well as the fully buffered one."""
+        from repro.routers.buffered import BufferedCrossbarRouter
+
+        cfg = RouterConfig(radix=16, subswitch_size=4, local_group_size=4)
+        hier = SwitchSimulation(
+            HierarchicalCrossbarRouter(cfg), load=1.0
+        ).run(FAST)
+        full = SwitchSimulation(
+            BufferedCrossbarRouter(cfg), load=1.0
+        ).run(FAST)
+        assert hier.throughput > full.throughput - 0.07
+
+    def test_worst_case_hurts_hierarchical(self):
+        """Figure 17(b): the worst-case pattern concentrates load on
+        the diagonal subswitches and costs throughput."""
+        cfg = RouterConfig(radix=16, subswitch_size=4, local_group_size=4)
+        uniform = SwitchSimulation(
+            HierarchicalCrossbarRouter(cfg), load=1.0,
+            pattern=UniformRandom(16),
+        ).run(FAST)
+        worst = SwitchSimulation(
+            HierarchicalCrossbarRouter(cfg), load=1.0,
+            pattern=WorstCaseHierarchical(16, 4),
+        ).run(FAST)
+        assert worst.throughput < uniform.throughput - 0.1
+
+    def test_smaller_subswitch_better_on_worst_case(self):
+        """Figure 17(b): 'the benefit of having smaller subswitch size
+        is apparent'."""
+        cfg = RouterConfig(radix=16, subswitch_size=8, local_group_size=4)
+        big = SwitchSimulation(
+            HierarchicalCrossbarRouter(cfg), load=1.0,
+            pattern=WorstCaseHierarchical(16, 8),
+        ).run(FAST)
+        small_cfg = cfg.with_(subswitch_size=2)
+        small = SwitchSimulation(
+            HierarchicalCrossbarRouter(small_cfg), load=1.0,
+            pattern=WorstCaseHierarchical(16, 2),
+        ).run(FAST)
+        assert small.throughput > big.throughput
+
+    def test_beats_unbuffered_baseline_on_worst_case(self):
+        """Figure 17(b): hierarchical still outperforms the baseline."""
+        from repro.routers.distributed import DistributedRouter
+
+        cfg = RouterConfig(radix=16, subswitch_size=4, local_group_size=4)
+        pattern = WorstCaseHierarchical(16, 4)
+        hier = SwitchSimulation(
+            HierarchicalCrossbarRouter(cfg), load=1.0, pattern=pattern
+        ).run(FAST)
+        base = SwitchSimulation(
+            DistributedRouter(cfg), load=1.0, pattern=pattern
+        ).run(FAST)
+        assert hier.throughput > base.throughput
+
+
+class TestCredits:
+    def test_subswitch_input_credits_restored_after_drain(self):
+        cfg = CFG
+        router = HierarchicalCrossbarRouter(cfg)
+        for src in range(8):
+            for f in make_packet(dest=(src + 3) % 8, size=4, src=src):
+                router.accept(src, f)
+        _drain(router, max_cycles=3000)
+        assert router.idle()
+        s = cfg.num_subswitches_per_side
+        for i in range(cfg.radix):
+            for c in range(s):
+                for vc in range(cfg.num_vcs):
+                    counter = router._in_credits[i][c][vc]
+                    assert counter.free == counter.capacity
+
+
+class TestResidentCounter:
+    def test_resident_tracks_buffer_occupancy(self):
+        """The fast-path resident counter must always equal the actual
+        buffered-flit count (crossing flits are counted separately)."""
+        from repro.harness.experiment import SwitchSimulation
+
+        cfg = RouterConfig(radix=16, num_vcs=2, subswitch_size=4,
+                           local_group_size=4)
+        router = HierarchicalCrossbarRouter(cfg)
+        sim = SwitchSimulation(router, load=0.7, packet_size=3)
+        for _ in range(400):
+            sim.step()
+            for row in router.sub:
+                for sub in row:
+                    buffered = sub.occupancy() - len(sub.crossing)
+                    assert sub.resident == buffered
+
+    def test_resident_zero_after_drain(self):
+        router = HierarchicalCrossbarRouter(CFG)
+        for src in range(8):
+            for f in make_packet(dest=(src + 3) % 8, size=2, src=src):
+                router.accept(src, f)
+        _drain(router, max_cycles=2000)
+        for row in router.sub:
+            for sub in row:
+                assert sub.resident == 0

@@ -1,0 +1,111 @@
+"""Tests for Bernoulli and Markov ON/OFF injection processes."""
+
+import random
+
+import pytest
+
+from repro.traffic.injection import Bernoulli, MarkovOnOff, make_injection
+
+
+class TestBernoulli:
+    def test_rate_zero_never_injects(self):
+        proc = Bernoulli(0.0)
+        rng = random.Random(0)
+        assert not any(proc.should_inject(rng) for _ in range(1000))
+
+    def test_rate_one_always_injects(self):
+        proc = Bernoulli(1.0)
+        rng = random.Random(0)
+        assert all(proc.should_inject(rng) for _ in range(100))
+
+    def test_long_run_rate(self):
+        proc = Bernoulli(0.2)
+        rng = random.Random(1)
+        n = 50000
+        hits = sum(proc.should_inject(rng) for _ in range(n))
+        assert abs(hits / n - 0.2) < 0.01
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Bernoulli(1.5)
+        with pytest.raises(ValueError):
+            Bernoulli(-0.1)
+
+
+class TestMarkovOnOff:
+    def test_long_run_rate_matches_target(self):
+        """The ON/OFF duty cycle must average out to the offered rate."""
+        proc = MarkovOnOff(rate=0.1, peak_rate=0.25, avg_burst=8.0)
+        rng = random.Random(2)
+        n = 200000
+        hits = sum(proc.should_inject(rng) for _ in range(n))
+        assert abs(hits / n - 0.1) < 0.01
+
+    def test_traffic_is_bursty(self):
+        """Injections cluster: the variance of per-window counts must
+        exceed that of a Bernoulli process at the same rate."""
+        rate, peak = 0.1, 0.25
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        onoff = MarkovOnOff(rate, peak, avg_burst=8.0)
+        bern = Bernoulli(rate)
+        window = 40
+
+        def window_counts(proc, rng):
+            counts = []
+            for _ in range(800):
+                counts.append(sum(proc.should_inject(rng) for _ in range(window)))
+            return counts
+
+        def var(xs):
+            m = sum(xs) / len(xs)
+            return sum((x - m) ** 2 for x in xs) / len(xs)
+
+        assert var(window_counts(onoff, rng_a)) > 1.5 * var(
+            window_counts(bern, rng_b)
+        )
+
+    def test_mean_burst_length(self):
+        """Consecutive packets within one ON period average ~avg_burst."""
+        proc = MarkovOnOff(rate=0.05, peak_rate=1.0, avg_burst=8.0)
+        rng = random.Random(4)
+        bursts = []
+        current = 0
+        for _ in range(200000):
+            if proc.should_inject(rng):
+                current += 1
+            elif current:
+                bursts.append(current)
+                current = 0
+        mean = sum(bursts) / len(bursts)
+        assert 6.0 < mean < 10.0
+
+    def test_zero_rate(self):
+        proc = MarkovOnOff(rate=0.0, peak_rate=0.25)
+        rng = random.Random(0)
+        assert not any(proc.should_inject(rng) for _ in range(100))
+
+    def test_rate_above_peak_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovOnOff(rate=0.5, peak_rate=0.25)
+
+    def test_invalid_burst(self):
+        with pytest.raises(ValueError):
+            MarkovOnOff(rate=0.1, peak_rate=0.25, avg_burst=0.5)
+
+    def test_invalid_peak(self):
+        with pytest.raises(ValueError):
+            MarkovOnOff(rate=0.0, peak_rate=0.0)
+
+
+class TestFactory:
+    def test_bernoulli(self):
+        assert isinstance(make_injection("bernoulli", 0.1), Bernoulli)
+
+    def test_onoff(self):
+        proc = make_injection("onoff", 0.1, peak_rate=0.25, avg_burst=4.0)
+        assert isinstance(proc, MarkovOnOff)
+        assert proc.avg_burst == 4.0
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_injection("poisson", 0.1)

@@ -1,0 +1,167 @@
+"""Tests for the cost/power model (Fig 3b) and area model (Figs 15, 17d)."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.models.area import (
+    AreaModel,
+    area_sweep,
+    baseline_storage_bits,
+    fully_buffered_storage_bits,
+    hierarchical_storage_bits,
+    shared_buffer_storage_bits,
+    storage_bits,
+    storage_crossover_radix,
+)
+from repro.models.cost import (
+    channel_count,
+    cost_vs_radix,
+    network_cost,
+    network_power,
+    power_vs_radix,
+    router_count,
+)
+from repro.models.technology import TECH_2003, TECH_2010
+
+
+class TestCostModel:
+    def test_cost_decreases_monotonically_with_radix(self):
+        """Figure 3(b): 'increasing the radix ... monotonically reduces
+        the overall cost of a network'."""
+        costs = [c for _, c in cost_vs_radix(TECH_2003, range(4, 200, 4))]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_2010_costs_more_than_2003(self):
+        """Footnote 4: 2010 shows higher cost because N is larger."""
+        for k in (16, 64, 128):
+            assert network_cost(k, TECH_2010) > network_cost(k, TECH_2003)
+
+    def test_channel_count_formula(self):
+        # N * 2 log_k N with N=1024, k=32: 1024 * 4 = 4096.
+        assert channel_count(32, 1024) == pytest.approx(4096)
+
+    def test_router_count(self):
+        assert router_count(32, 1024) == pytest.approx(128)
+
+    def test_power_decreases_with_radix(self):
+        powers = [p for _, p in power_vs_radix(TECH_2003, range(4, 200, 4))]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_power_proportional_to_router_count(self):
+        assert network_power(16, TECH_2003, router_power=2.0) == pytest.approx(
+            2.0 * router_count(16, TECH_2003.num_nodes)
+        )
+
+    def test_cost_unit_validation(self):
+        with pytest.raises(ValueError):
+            network_cost(16, TECH_2003, unit_cost=0)
+
+
+class TestStorageBits:
+    CFG = RouterConfig(radix=64, num_vcs=4, subswitch_size=8)
+
+    def test_fully_buffered_quadratic(self):
+        b64 = fully_buffered_storage_bits(self.CFG)
+        b128 = fully_buffered_storage_bits(self.CFG.with_(radix=128))
+        # Crosspoint term dominates: ~4x for 2x radix.
+        assert 3.5 < b128 / b64 < 4.1
+
+    def test_hierarchical_reduces_by_subswitch_factor(self):
+        """Section 6: buffer area grows as O(v k^2 / p)."""
+        full = fully_buffered_storage_bits(self.CFG)
+        hier8 = hierarchical_storage_bits(self.CFG)
+        hier4 = hierarchical_storage_bits(self.CFG.with_(subswitch_size=4))
+        assert hier8 < hier4 < full
+
+    def test_shared_buffer_saves_factor_v(self):
+        """Section 5.4: storage reduced by a factor of v at crosspoints."""
+        cfg = self.CFG.with_(input_buffer_depth=1)
+        full = fully_buffered_storage_bits(cfg)
+        shared = shared_buffer_storage_bits(cfg)
+        input_bits = baseline_storage_bits(cfg)
+        assert (shared - input_bits) * cfg.num_vcs == full - input_bits
+
+    def test_baseline_smallest(self):
+        assert baseline_storage_bits(self.CFG) < hierarchical_storage_bits(
+            self.CFG
+        )
+
+    def test_dispatch(self):
+        for arch in ("baseline", "distributed", "buffered",
+                     "shared_buffer", "hierarchical", "voq"):
+            assert storage_bits(arch, self.CFG) > 0
+        with pytest.raises(ValueError):
+            storage_bits("omega-network", self.CFG)
+
+
+class TestAreaModel:
+    CFG = RouterConfig(radix=64, num_vcs=4, subswitch_size=8)
+
+    def test_crossover_near_radix_50(self):
+        """Figure 15: 'for a radix greater than 50, storage area
+        exceeds wire area'."""
+        crossover = storage_crossover_radix("buffered", self.CFG)
+        assert 40 <= crossover <= 60
+
+    def test_hierarchical_saves_about_40_percent(self):
+        """Section 6 / Figure 17(d): k=64, p=8 hierarchical takes ~40%
+        less area than the fully buffered crossbar."""
+        model = AreaModel()
+        full = model.total_area("buffered", self.CFG)
+        hier = model.total_area("hierarchical", self.CFG)
+        saving = 1.0 - hier / full
+        assert 0.30 < saving < 0.50
+
+    def test_wire_area_grows_slowly(self):
+        model = AreaModel()
+        assert model.wire_area(128) < 2 * model.wire_area(32)
+
+    def test_area_sweep_shape(self):
+        rows = area_sweep("buffered", [16, 64, 128], self.CFG.with_(radix=16))
+        assert len(rows) == 3
+        ks = [k for k, _, _ in rows]
+        storages = [s for _, s, _ in rows]
+        assert ks == [16, 64, 128]
+        assert storages == sorted(storages)
+
+    def test_validation(self):
+        model = AreaModel()
+        with pytest.raises(ValueError):
+            model.storage_area(-1)
+        with pytest.raises(ValueError):
+            model.wire_area(1)
+
+
+class TestScalingData:
+    def test_fit_growth_close_to_order_of_magnitude(self):
+        """Figure 1: ~10x per five years.  The all-points fit lands
+        within a factor-of-two band of that observation."""
+        from repro.models.scaling import frontier, growth_per_five_years
+
+        assert 5.0 < growth_per_five_years() < 15.0
+        assert 7.0 < growth_per_five_years(frontier()) < 13.0
+
+    def test_prediction_monotone(self):
+        from repro.models.scaling import predicted_bandwidth_gbps
+
+        assert predicted_bandwidth_gbps(2010) > predicted_bandwidth_gbps(2000)
+
+    def test_paper_anchor_points_present(self):
+        from repro.models.scaling import ROUTER_SCALING_DATA
+
+        by_name = {d.name: d for d in ROUTER_SCALING_DATA}
+        assert by_name["J-Machine"].bandwidth_gbps == 3.84
+        assert by_name["Cray T3E"].bandwidth_gbps == 64.0
+        assert by_name["SGI Altix 3000"].bandwidth_gbps == 400.0
+        assert by_name["2010 estimate"].bandwidth_gbps == 20000.0
+
+    def test_doubling_time_positive(self):
+        from repro.models.scaling import doubling_years
+
+        assert 1.0 < doubling_years() < 3.0
+
+    def test_fit_requires_two_points(self):
+        from repro.models.scaling import ROUTER_SCALING_DATA, fit_exponential
+
+        with pytest.raises(ValueError):
+            fit_exponential(ROUTER_SCALING_DATA[:1])

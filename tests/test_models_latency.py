@@ -1,0 +1,155 @@
+"""Tests for the Section 2 latency model against the paper's anchors."""
+
+import math
+
+import pytest
+
+from repro.models.latency import (
+    aspect_ratio,
+    header_latency,
+    hop_count,
+    latency_vs_radix,
+    optimal_radix,
+    optimal_radix_continuous,
+    optimal_radix_detailed,
+    packet_latency,
+    packet_latency_detailed,
+    pipelined_router_delay,
+    serialization_latency,
+)
+from repro.models.technology import (
+    TECH_1991,
+    TECH_1996,
+    TECH_2003,
+    TECH_2010,
+    Technology,
+)
+
+
+class TestComponents:
+    def test_hop_count_formula(self):
+        assert hop_count(2, 1024) == pytest.approx(20.0)
+        assert hop_count(32, 1024) == pytest.approx(4.0)
+
+    def test_hop_count_decreases_with_radix(self):
+        hops = [hop_count(k, 4096) for k in (4, 8, 16, 64)]
+        assert hops == sorted(hops, reverse=True)
+
+    def test_serialization_grows_linearly_with_radix(self):
+        t1 = serialization_latency(16, TECH_2003)
+        t2 = serialization_latency(32, TECH_2003)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_packet_latency_is_sum(self):
+        k = 40
+        assert packet_latency(k, TECH_2003) == pytest.approx(
+            header_latency(k, TECH_2003) + serialization_latency(k, TECH_2003)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hop_count(1, 64)
+        with pytest.raises(ValueError):
+            hop_count(4, 1)
+
+
+class TestAspectRatio:
+    """The annotated values of Figure 2."""
+
+    def test_2003_aspect_ratio(self):
+        assert aspect_ratio(TECH_2003) == pytest.approx(554, rel=0.03)
+
+    def test_2010_aspect_ratio(self):
+        assert aspect_ratio(TECH_2010) == pytest.approx(2978, rel=0.01)
+
+    def test_aspect_ratio_increases_over_time(self):
+        ratios = [
+            aspect_ratio(t)
+            for t in (TECH_1991, TECH_1996, TECH_2003, TECH_2010)
+        ]
+        assert ratios == sorted(ratios)
+
+
+class TestOptimalRadix:
+    """Section 2: 'for 2003 technology (aspect ratio = 554) the optimum
+    radix is 40 while for 2010 technology (aspect ratio = 2978) the
+    optimum radix is 127'."""
+
+    def test_2003_optimum_is_40(self):
+        assert optimal_radix(TECH_2003) == pytest.approx(40, abs=2)
+
+    def test_2010_optimum_is_127(self):
+        assert optimal_radix(TECH_2010) == pytest.approx(127, abs=4)
+
+    def test_continuous_solution_satisfies_equation(self):
+        for a in (13.0, 554.0, 2978.0):
+            k = optimal_radix_continuous(a)
+            assert k * math.log(k) ** 2 == pytest.approx(a, rel=1e-6)
+
+    def test_continuous_saturates_at_two(self):
+        assert optimal_radix_continuous(0.1) == 2.0
+
+    def test_integer_optimum_is_argmin(self):
+        k = optimal_radix(TECH_2003)
+        t_best = packet_latency(k, TECH_2003)
+        assert t_best <= packet_latency(k - 1, TECH_2003)
+        assert t_best <= packet_latency(k + 1, TECH_2003)
+
+    def test_invalid_aspect(self):
+        with pytest.raises(ValueError):
+            optimal_radix_continuous(0.0)
+
+
+class TestLatencyCurve:
+    """Figure 3(a): latency falls, bottoms out, and rises again."""
+
+    def test_u_shape_for_2003(self):
+        ks = list(range(4, 200, 4))
+        series = latency_vs_radix(TECH_2003, ks)
+        lats = [t for _, t in series]
+        best = min(range(len(lats)), key=lats.__getitem__)
+        assert 0 < best < len(lats) - 1
+        assert lats[0] > lats[best]
+        assert lats[-1] > lats[best]
+
+    def test_2010_optimum_beyond_2003(self):
+        ks = list(range(4, 300, 2))
+        best_2003 = min(ks, key=lambda k: packet_latency(k, TECH_2003))
+        best_2010 = min(ks, key=lambda k: packet_latency(k, TECH_2010))
+        assert best_2010 > best_2003
+
+
+class TestDetailedRouterDelay:
+    def test_pipeline_grows_with_log_radix(self):
+        d16 = pipelined_router_delay(16, 1e-9, 3, 1)
+        d64 = pipelined_router_delay(64, 1e-9, 3, 1)
+        assert d64 - d16 == pytest.approx(2e-9)
+
+    def test_optimal_radix_unchanged_by_log_term(self):
+        """Section 2: the log(k) pipeline-depth term does not change
+        the optimal radix (it cancels against hop count)."""
+        cycle = TECH_2003.router_delay / 3.0  # X*t_cy == t_r
+        with_log = optimal_radix_detailed(
+            TECH_2003, cycle, stages_fixed=3.0, stages_per_log=1.0
+        )
+        without_log = optimal_radix_detailed(
+            TECH_2003, cycle, stages_fixed=3.0, stages_per_log=0.0
+        )
+        # The paper's claim: within a few percent of each other.
+        assert abs(with_log - without_log) / without_log < 0.15
+
+    def test_detailed_latency_uses_pipeline(self):
+        t = packet_latency_detailed(64, TECH_2003, 1e-9, 3, 1)
+        assert t > 0
+
+
+class TestTechnologyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            Technology("x", 0, 1e-9, 64, 128, 2000)
+        with pytest.raises(ValueError):
+            Technology("x", 1e9, 0, 64, 128, 2000)
+        with pytest.raises(ValueError):
+            Technology("x", 1e9, 1e-9, 1, 128, 2000)
+        with pytest.raises(ValueError):
+            Technology("x", 1e9, 1e-9, 64, 0, 2000)

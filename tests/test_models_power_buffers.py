@@ -1,0 +1,149 @@
+"""Tests for the power breakdown and credit-loop buffer-sizing models."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.harness.experiment import SweepSettings, saturation_throughput
+from repro.models.buffer_sizing import (
+    credit_round_trip,
+    crosspoint_required_depth,
+    max_throughput_fraction,
+    required_depth,
+)
+from repro.models.latency import (
+    optimal_radix,
+    packet_latency,
+    packet_latency_with_flight,
+    time_of_flight,
+)
+from repro.models.power import PowerModel
+from repro.models.technology import TECH_2003
+from repro.routers.buffered import BufferedCrossbarRouter
+
+
+class TestPowerModel:
+    MODEL = PowerModel()
+
+    def test_power_nearly_radix_independent(self):
+        """Section 2: 'the power of an individual router node is
+        largely independent of the radix as long as the total router
+        bandwidth is held constant'."""
+        p16 = self.MODEL.router_power(16, 1e12)
+        p256 = self.MODEL.router_power(256, 1e12)
+        assert (p256 - p16) / p16 < 0.05
+
+    def test_arbitration_negligible(self):
+        """'The arbitration logic ... represents a negligible fraction
+        of total power.'"""
+        for k in (16, 64, 256):
+            assert self.MODEL.arbitration_fraction(k, 1e12) < 0.05
+
+    def test_arbitration_grows_with_radix(self):
+        assert self.MODEL.arbitration_power(256) > self.MODEL.arbitration_power(16)
+
+    def test_io_dominates(self):
+        parts = self.MODEL.breakdown(64, 1e12)
+        assert parts["io"] > parts["switch"] > parts["arbitration"]
+
+    def test_power_scales_with_bandwidth(self):
+        assert self.MODEL.router_power(64, 2e12) > 1.8 * self.MODEL.router_power(64, 1e12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.MODEL.router_power(64, 0)
+        with pytest.raises(ValueError):
+            self.MODEL.arbitration_power(1)
+
+
+class TestBufferSizing:
+    def test_round_trip_arithmetic(self):
+        # forward 4 + worst-case alignment 3 + credit 3.
+        assert credit_round_trip(4, 3, 4) == 10
+        # Best case: no alignment wait.
+        assert credit_round_trip(4, 3, 4, service_wait=0) == 7
+
+    def test_required_depth_littles_law(self):
+        # Round trip 10 cycles, one flit per 4 cycles -> 3 credits.
+        assert required_depth(4, 3, 4) == 3
+
+    def test_paper_config_needs_four_flits(self):
+        """Figure 14(a)'s result as arithmetic: with the paper's
+        timing, four-flit crosspoint buffers cover the worst-case
+        credit loop."""
+        assert crosspoint_required_depth(RouterConfig()) <= 4
+
+    def test_throughput_ceiling(self):
+        # Depth 1 with a 10-cycle loop: at most 4/10 of capacity.
+        ceiling = max_throughput_fraction(1, 4, 3, 4)
+        assert ceiling == pytest.approx(4 / 10)
+        assert max_throughput_fraction(8, 4, 3, 4) == 1.0
+
+    def test_ceiling_matches_single_flow_simulation(self):
+        """The ceiling applies per credit loop: a single (input, VC,
+        output) stream through a one-flit crosspoint buffer is limited
+        to roughly depth * flit_cycles / round_trip of capacity.
+
+        (Under uniform traffic each loop carries only load/k, so the
+        ceiling never binds — which is why Figure 14(a) shows even
+        one-flit buffers doing well on uniform random traffic.)
+        """
+        from repro.core.flit import make_packet
+
+        cfg = RouterConfig(radix=8, num_vcs=1, subswitch_size=4,
+                           local_group_size=4, crosspoint_buffer_depth=1,
+                           input_buffer_depth=64)
+        router = BufferedCrossbarRouter(cfg)
+        # Saturate a single flow 0 -> 1.
+        cycles = 2000
+        delivered = 0
+        for t in range(cycles):
+            if router.input_space(0, 0) > 0:
+                (f,) = make_packet(dest=1, size=1, src=0)
+                router.accept(0, f)
+            router.step()
+            delivered += len(router.drain_ejected())
+        measured = delivered / (cycles / cfg.flit_cycles)
+        best = max_throughput_fraction(
+            1, cfg.flit_cycles, cfg.credit_latency, cfg.flit_cycles,
+            service_wait=0,
+        )
+        worst = max_throughput_fraction(
+            1, cfg.flit_cycles,
+            cfg.credit_latency + cfg.flit_cycles - 1, cfg.flit_cycles,
+        )
+        assert worst - 0.1 <= measured <= best + 0.1
+        assert measured < 0.75  # well below full capacity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            credit_round_trip(-1, 0, 4)
+        with pytest.raises(ValueError):
+            credit_round_trip(0, 0, 0)
+        with pytest.raises(ValueError):
+            max_throughput_fraction(0, 1, 1, 4)
+
+
+class TestTimeOfFlight:
+    def test_value(self):
+        assert time_of_flight(200.0) == pytest.approx(1e-6)
+
+    def test_shifts_latency_uniformly(self):
+        base = packet_latency(40, TECH_2003)
+        shifted = packet_latency_with_flight(40, TECH_2003, 100.0)
+        assert shifted - base == pytest.approx(time_of_flight(100.0))
+
+    def test_optimum_unchanged(self):
+        """Section 2: time of flight 'has minimal impact on the
+        optimal radix' — with a radix-independent D, none at all."""
+        k_star = optimal_radix(TECH_2003)
+        ks = range(4, 200, 2)
+        with_flight = min(
+            ks, key=lambda k: packet_latency_with_flight(k, TECH_2003, 50.0)
+        )
+        assert abs(with_flight - k_star) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_of_flight(-1.0)
+        with pytest.raises(ValueError):
+            time_of_flight(1.0, velocity=0)

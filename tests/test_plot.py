@@ -1,0 +1,87 @@
+"""Tests for the ASCII plotting helpers."""
+
+import math
+
+import pytest
+
+from repro.harness.experiment import SweepResult
+from repro.harness.plot import ascii_plot, plot_sweeps
+from repro.harness.stats import RunResult
+
+
+def _result(load, lat, saturated=False):
+    return RunResult(
+        offered_load=load, avg_latency=lat, p99_latency=lat, max_latency=0,
+        throughput=load, packets_measured=10, cycles=100, saturated=saturated,
+    )
+
+
+class TestAsciiPlot:
+    def test_basic_plot_contains_markers_and_legend(self):
+        text = ascii_plot(
+            [("a", [0, 1, 2], [1, 2, 3]), ("b", [0, 1, 2], [3, 2, 1])]
+        )
+        assert "o" in text
+        assert "x" in text
+        assert "o a" in text
+        assert "x b" in text
+
+    def test_axis_ticks(self):
+        text = ascii_plot([("s", [0.0, 1.0], [0.0, 10.0])], x_label="load")
+        assert "10" in text
+        assert "0" in text
+        assert "x: load" in text
+
+    def test_y_clipping(self):
+        text = ascii_plot([("s", [0, 1], [1, 1e9])], y_max=10.0)
+        # The huge point is clipped to the top row instead of exploding
+        # the scale.
+        assert "1e+09" not in text
+        assert "10" in text
+
+    def test_title(self):
+        text = ascii_plot([("s", [0], [0])], title="My Plot")
+        assert text.splitlines()[0] == "My Plot"
+
+    def test_nan_points_skipped(self):
+        text = ascii_plot([("s", [0, 1], [float("nan"), 5.0])])
+        assert "(no data)" not in text
+
+    def test_empty_series(self):
+        assert ascii_plot([("s", [], [])]) == "(no data)"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_plot([("s", [1, 2], [1])])
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ascii_plot([("s", [0], [0])], width=5)
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot([("s", [1, 1, 1], [2, 2, 2])])
+        assert "o" in text
+
+    def test_dimensions(self):
+        text = ascii_plot([("s", [0, 1], [0, 1])], width=40, height=10)
+        body_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(body_lines) == 10
+
+
+class TestPlotSweeps:
+    def test_plot_from_sweeps(self):
+        sweep = SweepResult(
+            "alpha", [_result(0.1, 10), _result(0.5, 20), _result(0.9, 500,
+                                                                  True)]
+        )
+        text = plot_sweeps([sweep])
+        assert "o alpha" in text
+        assert "offered load" in text
+
+    def test_saturated_points_clipped(self):
+        sweep = SweepResult(
+            "a", [_result(0.1, 10), _result(0.9, 100000, True)]
+        )
+        text = plot_sweeps([sweep])
+        # y_max defaults to 3x the largest unsaturated latency (30).
+        assert "1e+05" not in text

@@ -1,0 +1,60 @@
+"""Tests for the plain-text reporting helpers."""
+
+import pytest
+
+from repro.harness.experiment import SweepResult
+from repro.harness.report import format_saturation, format_sweeps, format_table
+from repro.harness.stats import RunResult
+
+
+def _result(load, lat, thpt, saturated=False):
+    return RunResult(
+        offered_load=load, avg_latency=lat, p99_latency=lat * 2,
+        max_latency=int(lat * 3), throughput=thpt, packets_measured=100,
+        cycles=1000, saturated=saturated,
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [float("nan")], [12345.0]])
+        assert "0.123" in text
+        assert "-" in text
+        assert "1.23e+04" in text or "12345" in text.replace(",", "")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatSweeps:
+    def test_combined_curves(self):
+        a = SweepResult("alpha", [_result(0.1, 10, 0.1), _result(0.5, 20, 0.5)])
+        b = SweepResult("beta", [_result(0.1, 12, 0.1)])
+        text = format_sweeps([a, b], title="Figure X")
+        assert "Figure X" in text
+        assert "alpha" in text and "beta" in text
+        # beta has no 0.5 point: rendered as '-'
+        last = text.splitlines()[-1]
+        assert "-" in last
+
+    def test_saturated_marker(self):
+        a = SweepResult("x", [_result(0.9, 500, 0.6, saturated=True)])
+        text = format_sweeps([a])
+        assert "500.0*" in text
+
+
+class TestFormatSaturation:
+    def test_reports_max_throughput(self):
+        a = SweepResult("arch", [_result(0.5, 10, 0.5), _result(1.0, 99, 0.72)])
+        text = format_saturation([a])
+        assert "0.720" in text
+        assert "arch" in text

@@ -1,0 +1,143 @@
+"""Direct tests of the Router base-class mechanics and bookkeeping."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.core.flit import make_packet
+from repro.routers.base import Router, RouterStats
+from repro.routers.buffered import BufferedCrossbarRouter
+from repro.routers.voq import VoqRouter
+
+CFG = RouterConfig(radix=4, num_vcs=2, subswitch_size=2, local_group_size=2)
+
+
+class _PassthroughRouter(Router):
+    """Minimal concrete Router: grants every input-queue head straight
+    to its output when free (used to test base-class plumbing)."""
+
+    def _advance(self):
+        now = self.cycle
+        for i in range(self.config.radix):
+            if not self.input_busy.free(i, now):
+                continue
+            for vc in range(self.config.num_vcs):
+                flit = self.inputs[i][vc].head()
+                if flit is None:
+                    continue
+                out = flit.dest
+                if not self.output_busy.free(out, now):
+                    continue
+                state = self.output_vcs[out]
+                if flit.is_head:
+                    if not state.is_free(flit.vc):
+                        continue
+                    state.allocate(flit.vc, flit.packet_id)
+                elif state.owner(flit.vc) != flit.packet_id:
+                    continue
+                flit.out_vc = flit.vc
+                self.inputs[i][vc].pop()
+                self.input_busy.reserve(i, now, self.config.flit_cycles)
+                self._start_traversal(flit, out)
+                break
+
+
+class TestBasePlumbing:
+    def test_ejection_timing(self):
+        r = _PassthroughRouter(CFG)
+        (flit,) = make_packet(dest=2, size=1, src=0)
+        r.accept(0, flit)
+        r.step()  # grant at cycle 0
+        for _ in range(CFG.flit_cycles - 1):
+            r.step()
+            assert not r.ejected
+        r.step()
+        out = r.drain_ejected()
+        assert len(out) == 1
+        assert out[0][1] == CFG.flit_cycles
+
+    def test_drain_ejected_clears(self):
+        r = _PassthroughRouter(CFG)
+        (flit,) = make_packet(dest=1, size=1, src=0)
+        r.accept(0, flit)
+        for _ in range(CFG.flit_cycles + 2):
+            r.step()
+        assert r.drain_ejected()
+        assert not r.drain_ejected()
+
+    def test_vc_released_after_tail_traversal(self):
+        r = _PassthroughRouter(CFG)
+        flits = make_packet(dest=2, size=2, src=0)
+        for f in flits:
+            r.accept(0, f)
+        # Run until both flits are out.
+        for _ in range(40):
+            r.step()
+        assert r.output_vcs[2].is_free(0)
+
+    def test_injected_at_stamped(self):
+        r = _PassthroughRouter(CFG)
+        for _ in range(7):
+            r.step()
+        (flit,) = make_packet(dest=1, size=1, src=0)
+        r.accept(0, flit)
+        assert flit.injected_at == 7
+
+    def test_stats_dataclass(self):
+        stats = RouterStats()
+        stats.bump("custom")
+        stats.bump("custom", 4)
+        assert stats.extra["custom"] == 5
+
+    def test_repr(self):
+        r = _PassthroughRouter(CFG)
+        text = repr(r)
+        assert "k=4" in text and "cycle=0" in text
+
+    def test_abstract_advance(self):
+        r = Router(CFG)
+        with pytest.raises(NotImplementedError):
+            r.step()
+
+
+class TestOccupancyBookkeeping:
+    def test_buffered_occupied_sets_empty_after_drain(self):
+        router = BufferedCrossbarRouter(CFG)
+        for src in range(4):
+            for f in make_packet(dest=(src + 1) % 4, size=3, src=src):
+                router.accept(src, f)
+        for _ in range(400):
+            router.step()
+            router.drain_ejected()
+            if router.idle():
+                break
+        assert router.idle()
+        assert all(not occ for occ in router._occupied)
+
+    def test_voq_occupied_sets_empty_after_drain(self):
+        router = VoqRouter(CFG)
+        for src in range(4):
+            for f in make_packet(dest=(src + 2) % 4, size=3, src=src):
+                router.accept(src, f)
+        for _ in range(600):
+            router.step()
+            router.drain_ejected()
+            if router.idle():
+                break
+        assert router.idle()
+        assert all(not occ for occ in router._occupied)
+
+    def test_occupied_consistent_under_load(self):
+        """The occupied index must exactly mirror buffer contents."""
+        from repro.harness.experiment import SwitchSimulation
+
+        router = BufferedCrossbarRouter(CFG)
+        sim = SwitchSimulation(router, load=0.7)
+        for _ in range(300):
+            sim.step()
+            for j in range(CFG.radix):
+                truth = {
+                    i
+                    for i in range(CFG.radix)
+                    if router.crosspoints[i][j].occupancy() > 0
+                }
+                assert truth == router._occupied[j]

@@ -1,0 +1,81 @@
+"""Tests for the saturation-load binary search and network sweeps."""
+
+import pytest
+
+from repro.core.config import RouterConfig
+from repro.harness.experiment import (
+    SweepSettings,
+    find_saturation_load,
+    saturation_throughput,
+)
+from repro.network import NetworkConfig, run_network_sweep
+from repro.routers.buffered import BufferedCrossbarRouter
+from repro.routers.distributed import DistributedRouter
+
+CFG = RouterConfig(radix=16, num_vcs=4, subswitch_size=4, local_group_size=4)
+SETTINGS = SweepSettings(warmup=300, measure=500, drain=4000)
+
+
+class TestFindSaturationLoad:
+    def test_buffered_saturates_near_full_load(self):
+        load = find_saturation_load(
+            BufferedCrossbarRouter, CFG, settings=SETTINGS, tolerance=0.05
+        )
+        assert load > 0.85
+
+    def test_distributed_saturates_earlier(self):
+        buffered = find_saturation_load(
+            BufferedCrossbarRouter, CFG, settings=SETTINGS, tolerance=0.05
+        )
+        distributed = find_saturation_load(
+            DistributedRouter, CFG, settings=SETTINGS, tolerance=0.05
+        )
+        assert distributed < buffered
+
+    def test_agrees_with_saturation_throughput(self):
+        """The knee of the latency curve sits near the accepted
+        throughput plateau."""
+        sat_settings = SweepSettings(warmup=400, measure=800, drain=50)
+        knee = find_saturation_load(
+            DistributedRouter, CFG, settings=SETTINGS, tolerance=0.05
+        )
+        plateau = saturation_throughput(
+            DistributedRouter, CFG, settings=sat_settings
+        )
+        assert abs(knee - plateau) < 0.15
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            find_saturation_load(
+                BufferedCrossbarRouter, CFG, settings=SETTINGS, tolerance=0.0
+            )
+
+
+class TestNetworkSweep:
+    def test_curve_shape(self):
+        sweep = run_network_sweep(
+            NetworkConfig(radix=8, levels=2, num_vcs=2),
+            loads=[0.1, 0.5],
+            label="clos",
+            warmup=300, measure=400, drain=3000,
+        )
+        assert sweep.label == "clos"
+        assert len(sweep.results) == 2
+        assert sweep.results[1].avg_latency > sweep.results[0].avg_latency
+
+    def test_default_label(self):
+        sweep = run_network_sweep(
+            NetworkConfig(radix=8, levels=2), loads=[0.1],
+            warmup=200, measure=300, drain=2000,
+        )
+        assert sweep.label == "network"
+
+    def test_with_explicit_topology(self):
+        from repro.network import Mesh
+
+        sweep = run_network_sweep(
+            NetworkConfig(radix=6, num_vcs=2), loads=[0.2],
+            topology=Mesh((3, 3)),
+            warmup=200, measure=300, drain=3000,
+        )
+        assert sweep.results[0].packets_measured > 0

@@ -1,0 +1,81 @@
+"""Tests for per-input traffic sources."""
+
+import pytest
+
+from repro.traffic.injection import Bernoulli
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.source import TrafficSource
+
+
+def _source(rate=1.0, packet_size=1, seed=0, input_id=0, k=8):
+    return TrafficSource(
+        input_id, UniformRandom(k), Bernoulli(rate), packet_size, seed
+    )
+
+
+class TestTrafficSource:
+    def test_generate_at_rate_one(self):
+        src = _source(rate=1.0)
+        assert src.generate(now=0, measured=False) is not None
+        assert src.backlog() == 1
+
+    def test_generate_at_rate_zero(self):
+        src = _source(rate=0.0)
+        assert src.generate(0, False) is None
+        assert src.backlog() == 0
+
+    def test_packet_size_flits(self):
+        src = _source(rate=1.0, packet_size=5)
+        src.generate(0, False)
+        assert src.backlog() == 5
+        flits = [src.pop() for _ in range(5)]
+        assert flits[0].is_head and flits[-1].is_tail
+        assert len({f.packet_id for f in flits}) == 1
+
+    def test_measured_flag_propagates(self):
+        src = _source(rate=1.0)
+        src.generate(0, measured=True)
+        assert src.pop().measured
+
+    def test_created_at_recorded(self):
+        src = _source(rate=1.0)
+        src.generate(42, False)
+        assert src.pop().created_at == 42
+
+    def test_src_recorded(self):
+        src = _source(rate=1.0, input_id=5)
+        src.generate(0, False)
+        assert src.pop().src == 5
+
+    def test_head_is_nondestructive(self):
+        src = _source(rate=1.0)
+        src.generate(0, False)
+        f = src.head()
+        assert src.head() is f
+        assert src.pop() is f
+        assert src.head() is None
+
+    def test_counters(self):
+        src = _source(rate=1.0, packet_size=3)
+        for now in range(4):
+            src.generate(now, False)
+        assert src.packets_generated == 4
+        assert src.flits_generated == 12
+
+    def test_deterministic_across_instances(self):
+        a = _source(rate=0.5, seed=7)
+        b = _source(rate=0.5, seed=7)
+        seq_a = [a.generate(t, False) is not None for t in range(100)]
+        seq_b = [b.generate(t, False) is not None for t in range(100)]
+        assert seq_a == seq_b
+
+    def test_different_inputs_get_different_streams(self):
+        a = TrafficSource(0, UniformRandom(8), Bernoulli(0.5), 1, seed=7)
+        b = TrafficSource(1, UniformRandom(8), Bernoulli(0.5), 1, seed=7)
+        seq_a = [a.generate(t, False) is not None for t in range(200)]
+        seq_b = [b.generate(t, False) is not None for t in range(200)]
+        assert seq_a != seq_b
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            _source(packet_size=0)

@@ -1,0 +1,120 @@
+"""Tests for the measurement statistics of Section 4.3."""
+
+import math
+
+import pytest
+
+from repro.harness.stats import LatencySample, summarize
+
+
+class TestLatencySample:
+    def test_empty_sample(self):
+        s = LatencySample()
+        assert len(s) == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.percentile(50))
+        assert s.maximum == 0
+        assert not s.converged()
+
+    def test_mean(self):
+        s = LatencySample()
+        for x in (10, 20, 30):
+            s.add(x)
+        assert s.mean == 20.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySample().add(-1)
+
+    def test_percentiles(self):
+        s = LatencySample()
+        for x in range(1, 101):
+            s.add(x)
+        assert s.percentile(0) == 1
+        assert s.percentile(100) == 100
+        assert abs(s.percentile(50) - 50.5) < 1e-9
+
+    def test_percentile_single_element(self):
+        s = LatencySample()
+        s.add(7)
+        assert s.percentile(99) == 7.0
+
+    def test_percentile_range_check(self):
+        s = LatencySample()
+        s.add(1)
+        with pytest.raises(ValueError):
+            s.percentile(101)
+
+    def test_maximum(self):
+        s = LatencySample()
+        for x in (3, 9, 1):
+            s.add(x)
+        assert s.maximum == 9
+
+    def test_ci_infinite_with_little_data(self):
+        s = LatencySample()
+        for x in range(5):
+            s.add(x)
+        assert s.confidence_halfwidth() == float("inf")
+
+    def test_ci_shrinks_for_constant_data(self):
+        s = LatencySample()
+        for _ in range(200):
+            s.add(50)
+        assert s.confidence_halfwidth() == 0.0
+        assert s.converged()
+
+    def test_ci_wide_for_noisy_data(self):
+        s = LatencySample()
+        for i in range(100):
+            s.add(1 if i % 2 == 0 else 1000)
+        # Alternating batches have equal means, so interleave batches
+        # differently: make batch means diverge.
+        s2 = LatencySample()
+        for i in range(100):
+            s2.add(1 if i < 50 else 1000)
+        assert s2.confidence_halfwidth() > 100
+
+    def test_invalid_confidence(self):
+        s = LatencySample()
+        s.add(1)
+        with pytest.raises(ValueError):
+            s.confidence_halfwidth(confidence=0.5)
+
+
+class TestSummarize:
+    def _sample(self, values):
+        s = LatencySample()
+        for v in values:
+            s.add(v)
+        return s
+
+    def test_throughput_fraction_of_capacity(self):
+        """1000 flits over 1000 cycles, 16 ports at 0.25 flits/cycle
+        capacity: 1000 / (1000*16*0.25) = 0.25."""
+        r = summarize(
+            offered_load=0.3,
+            sample=self._sample([10, 20]),
+            measured_flits=1000,
+            measured_cycles=1000,
+            num_ports=16,
+            capacity=0.25,
+            saturated=False,
+            cycles=5000,
+        )
+        assert r.throughput == pytest.approx(0.25)
+        assert r.avg_latency == 15.0
+        assert r.offered_load == 0.3
+        assert r.packets_measured == 2
+        assert not r.saturated
+
+    def test_zero_cycles(self):
+        r = summarize(0.1, self._sample([1]), 0, 0, 4, 0.25, False, 0)
+        assert r.throughput == 0.0
+
+    def test_row(self):
+        r = summarize(0.5, self._sample([10]), 100, 100, 4, 0.25, True, 100)
+        load, lat, thpt = r.row()
+        assert load == 0.5
+        assert lat == 10.0
+        assert thpt == pytest.approx(1.0)

@@ -1,0 +1,162 @@
+"""Tests for the VOQ switch and the iSLIP allocator (Section 8)."""
+
+import pytest
+
+from repro.allocation.islip import IslipAllocator
+from repro.core.config import RouterConfig
+from repro.core.flit import make_packet
+from repro.harness.experiment import SwitchSimulation, SweepSettings
+from repro.routers.voq import VoqRouter
+
+CFG = RouterConfig(radix=8, num_vcs=2, subswitch_size=4, local_group_size=4)
+FAST = SweepSettings(warmup=400, measure=800, drain=50)
+
+
+def _drain(router, max_cycles=1500):
+    out = []
+    for _ in range(max_cycles):
+        router.step()
+        out.extend(router.drain_ejected())
+        if router.idle():
+            break
+    return out
+
+
+class TestIslipAllocator:
+    def test_empty_requests(self):
+        alloc = IslipAllocator(4, 4)
+        assert alloc.allocate([set() for _ in range(4)]) == {}
+
+    def test_single_request(self):
+        alloc = IslipAllocator(4, 4)
+        reqs = [set(), {2}, set(), set()]
+        assert alloc.allocate(reqs) == {1: 2}
+
+    def test_matching_is_one_to_one(self):
+        alloc = IslipAllocator(4, 4, iterations=4)
+        reqs = [{0, 1, 2, 3} for _ in range(4)]
+        m = alloc.allocate(reqs)
+        assert len(m) == 4
+        assert len(set(m.values())) == 4
+
+    def test_grants_respect_requests(self):
+        alloc = IslipAllocator(4, 4, iterations=2)
+        reqs = [{1}, {1, 2}, {3}, set()]
+        m = alloc.allocate(reqs)
+        for inp, out in m.items():
+            assert out in reqs[inp]
+
+    def test_more_iterations_never_smaller_matching(self):
+        reqs = [{0, 1}, {0, 1}, {2, 3}, {2, 3}]
+        small = IslipAllocator(4, 4, iterations=1).allocate(reqs)
+        big = IslipAllocator(4, 4, iterations=4).allocate(reqs)
+        assert len(big) >= len(small)
+
+    def test_pointer_desynchronization(self):
+        """After a contested grant, the pointers separate so the next
+        cycle serves a different input (the iSLIP liveness property)."""
+        alloc = IslipAllocator(2, 2, iterations=1)
+        reqs = [{0}, {0}]
+        first = alloc.allocate(reqs)
+        second = alloc.allocate(reqs)
+        assert list(first.keys()) != list(second.keys())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IslipAllocator(0, 4)
+        with pytest.raises(ValueError):
+            IslipAllocator(4, 4, iterations=0)
+        with pytest.raises(ValueError):
+            IslipAllocator(4, 4).allocate([set()])
+
+    def test_fairness_under_full_load(self):
+        alloc = IslipAllocator(4, 4, iterations=1)
+        wins = [0] * 4
+        for _ in range(100):
+            m = alloc.allocate([{0} for _ in range(4)])
+            (inp,) = m.keys()
+            wins[inp] += 1
+        assert max(wins) - min(wins) <= 2
+
+
+class TestVoqRouter:
+    def test_single_flit_delivery(self):
+        router = VoqRouter(CFG)
+        (flit,) = make_packet(dest=5, size=1, src=2)
+        router.accept(2, flit)
+        out = _drain(router)
+        assert len(out) == 1
+
+    def test_multi_flit_in_order(self):
+        router = VoqRouter(CFG)
+        for f in make_packet(dest=6, size=4, src=0):
+            router.accept(0, f)
+        out = _drain(router)
+        assert [f.flit_index for f, _ in out] == [0, 1, 2, 3]
+
+    def test_voq_occupancy_tracks_sorting(self):
+        router = VoqRouter(CFG)
+        (flit,) = make_packet(dest=3, size=1, src=0)
+        router.accept(0, flit)
+        router.step()
+        router.step()
+        assert router.voq_occupancy() <= 1
+        _drain(router)
+        assert router.voq_occupancy() == 0
+
+    def test_no_hol_blocking(self):
+        """Flits to different outputs never block each other at an
+        input — the defining property of VOQ."""
+        cfg = CFG.with_(num_vcs=1)
+        router = VoqRouter(cfg)
+        # Output 1 is contested by every input; input 0 also has
+        # traffic for the idle output 5 behind it.
+        for src in range(4):
+            (f,) = make_packet(dest=1, size=1, src=src)
+            router.accept(src, f)
+        (g,) = make_packet(dest=5, size=1, src=0)
+        router.accept(0, g)
+        out = _drain(router)
+        cycles_to_5 = [c for f, c in out if f.dest == 5]
+        cycles_to_1 = sorted(c for f, c in out if f.dest == 1)
+        # The packet to output 5 does not wait for all four contested
+        # transmissions to finish.
+        assert cycles_to_5[0] < cycles_to_1[-1]
+
+    def test_high_saturation_throughput(self):
+        """Section 8: VOQ reaches ~100% throughput [23]."""
+        cfg = RouterConfig(radix=16, subswitch_size=4, local_group_size=4)
+        r = SwitchSimulation(VoqRouter(cfg, iterations=2), load=1.0).run(FAST)
+        assert r.throughput > 0.85
+
+    def test_beats_distributed_baseline(self):
+        from repro.routers.distributed import DistributedRouter
+
+        cfg = RouterConfig(radix=16, subswitch_size=4, local_group_size=4)
+        voq = SwitchSimulation(VoqRouter(cfg), load=1.0).run(FAST)
+        base = SwitchSimulation(DistributedRouter(cfg), load=1.0).run(FAST)
+        assert voq.throughput > base.throughput
+
+    def test_multiple_packets_different_vcs_no_deadlock(self):
+        cfg = CFG.with_(num_vcs=2)
+        router = VoqRouter(cfg)
+        for src in range(8):
+            for vc in range(2):
+                for f in make_packet(dest=(src + vc) % 8, size=3, src=src):
+                    f.vc = vc
+                    router.accept(src, f)
+        out = _drain(router, max_cycles=4000)
+        assert len(out) == 8 * 2 * 3
+        assert router.idle()
+
+    def test_voq_storage_model(self):
+        from repro.models.area import (
+            fully_buffered_storage_bits,
+            voq_storage_bits,
+        )
+
+        cfg = RouterConfig(radix=64, subswitch_size=8, input_buffer_depth=1)
+        # "VOQ adds O(k^2) buffering": same order as the fully buffered
+        # crossbar's crosspoint storage.
+        fb_xpoints = fully_buffered_storage_bits(cfg) - 64 * 4 * 1 * 64
+        assert voq_storage_bits(cfg) == fb_xpoints
