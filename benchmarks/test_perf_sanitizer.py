@@ -1,0 +1,82 @@
+"""Sanitizer overhead: cost of per-cycle structural checking.
+
+Not a paper figure — this benchmark bounds the slowdown of running a
+simulation under :class:`repro.analysis.SimSanitizer` so the sanitizer
+stays cheap enough to leave on in CI smoke runs and property tests.
+The per-cycle structural checks walk every buffer, credit counter, and
+VC ledger entry, so the overhead is architecture-dependent; the bound
+is asserted on the radix-16 baseline and buffered-crossbar
+organizations (centralized and most check-heavy, respectively).
+"""
+
+import time  # lint: disable=R002 (measuring host runtime, not sim state)
+
+import pytest
+
+from repro.analysis.sanitizer import SimSanitizer
+from repro.core.config import RouterConfig
+from repro.harness.experiment import SwitchSimulation
+from repro.routers.baseline import BaselineRouter
+from repro.routers.buffered import BufferedCrossbarRouter
+
+CYCLES = 400
+CONFIG = RouterConfig(radix=16)
+
+#: Maximum tolerated slowdown of a fully-checked run (interval=1).
+MAX_OVERHEAD = 3.0
+
+ROUTERS = {
+    "baseline": BaselineRouter,
+    "buffered": BufferedCrossbarRouter,
+}
+
+
+def _run(cls, sanitize, check_interval=1):
+    router = cls(CONFIG)
+    if sanitize:
+        router = SimSanitizer(router, check_interval=check_interval)
+    sim = SwitchSimulation(router, load=0.6, seed=11)
+    for _ in range(CYCLES):
+        sim.step()
+    return sim.router.stats.flits_ejected
+
+
+def _time(fn, repeats=3):
+    """Best-of-N wall time (minimum is the least noisy estimator)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()  # lint: disable=R002
+        fn()
+        best = min(best, time.perf_counter() - start)  # lint: disable=R002
+    return best
+
+
+@pytest.mark.parametrize("name", sorted(ROUTERS))
+def test_perf_sanitizer_step(benchmark, name):
+    """Track the absolute cost of a fully sanitized simulation."""
+    cls = ROUTERS[name]
+    delivered = benchmark.pedantic(
+        lambda: _run(cls, sanitize=True), rounds=3, iterations=1
+    )
+    assert delivered > 0
+
+
+@pytest.mark.parametrize("name", sorted(ROUTERS))
+def test_sanitizer_overhead_bounded(name):
+    """Per-cycle structural checking costs < MAX_OVERHEAD x runtime."""
+    cls = ROUTERS[name]
+    base = _time(lambda: _run(cls, sanitize=False))
+    checked = _time(lambda: _run(cls, sanitize=True))
+    overhead = checked / base
+    assert overhead < MAX_OVERHEAD, (
+        f"{name}: sanitized run is {overhead:.2f}x the plain run "
+        f"(limit {MAX_OVERHEAD}x)"
+    )
+
+
+def test_check_interval_reduces_overhead():
+    """Sparse checking (interval=8) must be cheaper than every-cycle."""
+    cls = ROUTERS["buffered"]
+    every = _time(lambda: _run(cls, sanitize=True, check_interval=1))
+    sparse = _time(lambda: _run(cls, sanitize=True, check_interval=8))
+    assert sparse < every

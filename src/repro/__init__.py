@@ -16,7 +16,9 @@ This package implements, from scratch in pure Python:
   Figures 3, 15, 17(d) (:mod:`repro.models`);
 * folded-Clos network simulation for Figure 19 (:mod:`repro.network`);
 * the warm-up / sample / drain measurement harness of Section 4.3
-  (:mod:`repro.harness`).
+  (:mod:`repro.harness`);
+* determinism/conservation tooling (:mod:`repro.analysis`): an AST
+  lint pass and the :class:`SimSanitizer` runtime invariant checker.
 
 Quick start::
 
@@ -28,7 +30,9 @@ Quick start::
     print(result.avg_latency, result.throughput)
 """
 
+from .analysis import NetworkSanitizer, SimSanitizer
 from .core.config import FAST_CONFIG, PAPER_CONFIG, RouterConfig
+from .core.errors import InvariantViolation, SimulationError, invariant
 from .core.flit import Flit, make_packet
 from .harness.experiment import (
     SweepResult,
@@ -89,5 +93,10 @@ __all__ = [
     "FoldedClos",
     "NetworkConfig",
     "ClosNetworkSimulation",
+    "SimSanitizer",
+    "NetworkSanitizer",
+    "InvariantViolation",
+    "SimulationError",
+    "invariant",
     "__version__",
 ]

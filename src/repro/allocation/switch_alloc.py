@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.arbiter import HierarchicalArbiter, PriorityArbiter
+from ..core.errors import invariant
 
 
 class OutputArbiterBank:
@@ -83,5 +84,7 @@ class OutputArbiterBank:
         lines = [False] * self.num_inputs
         for i, _speculative in requests:
             lines[i] = True
-        assert isinstance(arb, HierarchicalArbiter)
+        invariant(isinstance(arb, HierarchicalArbiter),
+                  "non-prioritized allocator holds a foreign arbiter type",
+                  check="configuration")
         return arb.arbitrate(lines)

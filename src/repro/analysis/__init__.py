@@ -1,0 +1,42 @@
+"""Static and runtime correctness tooling for the simulator.
+
+The value of this reproduction is cycle-accurate, *reproducible*
+numbers — and reproducibility rests on two families of rules that
+ordinary tests don't enforce:
+
+* **Determinism**: every RNG stream must come from
+  :func:`repro.core.rng.derive_rng`; no wall-clock, process-salted
+  hashing, or unordered-set iteration may feed arbitration.
+* **Conservation**: flits, credits, and output-VC ownership obey exact
+  accounting laws at every cycle (Sections 5.2 and 6 of the paper live
+  or die on buffer/credit bookkeeping).
+
+This package supplies one tool per family:
+
+* :mod:`repro.analysis.lint` — an AST lint pass with simulator-specific
+  rules (R001-R005), run as ``python -m repro.cli lint src``;
+* :mod:`repro.analysis.sanitizer` — :class:`SimSanitizer`, a
+  per-cycle runtime checker wrapping any router (``--sanitize`` on the
+  CLI), plus :class:`NetworkSanitizer` for network simulations.
+
+See ``docs/static_analysis.md`` for the rule catalogue and invariants.
+"""
+
+from ..core.errors import InvariantViolation, SimulationError, invariant
+from .lint import Finding, LintRule, format_findings, lint_paths, run_lint
+from .rules import all_rules
+from .sanitizer import NetworkSanitizer, SimSanitizer
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "all_rules",
+    "lint_paths",
+    "format_findings",
+    "run_lint",
+    "SimSanitizer",
+    "NetworkSanitizer",
+    "InvariantViolation",
+    "SimulationError",
+    "invariant",
+]

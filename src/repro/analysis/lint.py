@@ -1,0 +1,197 @@
+"""AST lint framework for simulator-specific rules.
+
+A *rule* walks a parsed module and yields :class:`Finding`s; the runner
+applies every registered rule to every ``.py`` file under the given
+paths, filters findings through ``# lint: disable=...`` pragmas, and
+reports them as ``path:line: code message`` — one finding per line,
+sorted, suitable for editors and CI logs.
+
+Pragmas::
+
+    bad_call()          # lint: disable=R001        suppress one code
+    bad_call()          # lint: disable=R001,R002   suppress several
+    bad_call()          # lint: disable             suppress all codes
+
+A pragma applies to findings reported on its own physical line.
+
+The framework is deliberately small: rules are plain classes with a
+``code``, a ``description``, and a ``check(tree, ctx)`` generator — see
+:mod:`repro.analysis.rules` for the catalogue (R001-R005).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Directories never linted (build products, caches).
+EXCLUDED_DIRS = {"__pycache__", ".git", "build", "dist"}
+EXCLUDED_SUFFIXES = (".egg-info",)
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Per-file information shared by all rules."""
+
+    path: Path
+    display_path: str
+    source: str
+    #: Line number -> set of disabled codes ("*" disables everything).
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def is_rng_module(self) -> bool:
+        """True for ``repro/core/rng.py``, the sanctioned ``random`` user."""
+        parts = self.path.parts
+        return len(parts) >= 3 and parts[-3:] == ("repro", "core", "rng.py")
+
+    def suppressed(self, line: int, code: str) -> bool:
+        disabled = self.pragmas.get(line)
+        if disabled is None:
+            return False
+        return "*" in disabled or code in disabled
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` (``"R00x"``), ``name``, and ``description``
+    and implement :meth:`check`.
+    """
+
+    code: str = "R000"
+    name: str = "abstract-rule"
+    description: str = ""
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            code=self.code,
+            message=message,
+        )
+
+
+def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group(1)
+        if codes is None:
+            pragmas[lineno] = {"*"}
+        else:
+            pragmas[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+    return pragmas
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        if not root.exists():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for candidate in sorted(root.rglob("*.py")):
+            parts = candidate.parts
+            if any(part in EXCLUDED_DIRS for part in parts):
+                continue
+            if any(part.endswith(EXCLUDED_SUFFIXES) for part in parts):
+                continue
+            yield candidate
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[LintRule],
+    display_path: Optional[str] = None,
+) -> List[Finding]:
+    """Apply ``rules`` to one file; returns unsuppressed findings."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=display_path or str(path),
+                line=exc.lineno or 1,
+                code="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        display_path=display_path or str(path),
+        source=source,
+        pragmas=_parse_pragmas(source),
+    )
+    findings: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(tree, ctx):
+            if not ctx.suppressed(finding.line, finding.code):
+                findings.append(finding)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[LintRule]] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    Returns findings sorted by (path, line, code).
+    """
+    if rules is None:
+        from .rules import all_rules
+
+        rules = all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules, display_path=str(path)))
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return findings
+
+
+def format_findings(findings: Iterable[Finding]) -> str:
+    return "\n".join(f.format() for f in findings)
+
+
+def run_lint(
+    paths: Sequence[str],
+    rules: Optional[Sequence[LintRule]] = None,
+    print_findings: bool = True,
+) -> int:
+    """Lint ``paths`` and return a process exit code (0 clean, 1 dirty)."""
+    findings = lint_paths(paths, rules)
+    if findings and print_findings:
+        print(format_findings(findings))
+    if print_findings:
+        n = len(findings)
+        summary = "clean" if n == 0 else f"{n} finding{'s' if n != 1 else ''}"
+        print(f"lint: {summary} ({', '.join(paths)})")
+    return 1 if findings else 0

@@ -1,0 +1,48 @@
+"""The lint rule catalogue.
+
+===== ==========================  ====================================
+Code  Name                        Enforces
+===== ==========================  ====================================
+R001  no-direct-random            All randomness flows through
+                                  :func:`repro.core.rng.derive_rng`
+R002  no-nondeterminism           No wall clock, salted ``hash()``, or
+                                  unordered-set iteration in the
+                                  simulation
+R003  no-config-mutation          Frozen ``RouterConfig`` objects are
+                                  never assigned to (use
+                                  ``dataclasses.replace`` / ``with_``)
+R004  no-mutable-default          No mutable default arguments
+R005  router-subclass-contract    ``Router`` subclasses implement the
+                                  step hook and chain ``__init__``
+===== ==========================  ====================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lint import LintRule
+from .config_rules import ConfigMutationRule, MutableDefaultRule
+from .determinism import DirectRandomRule, NondeterminismRule
+from .structure import RouterSubclassRule
+
+
+def all_rules() -> List[LintRule]:
+    """Instantiate the full rule catalogue, ordered by code."""
+    return [
+        DirectRandomRule(),
+        NondeterminismRule(),
+        ConfigMutationRule(),
+        MutableDefaultRule(),
+        RouterSubclassRule(),
+    ]
+
+
+__all__ = [
+    "all_rules",
+    "DirectRandomRule",
+    "NondeterminismRule",
+    "ConfigMutationRule",
+    "MutableDefaultRule",
+    "RouterSubclassRule",
+]

@@ -1,0 +1,132 @@
+"""Configuration-safety rules: R003 (config mutation) and R004
+(mutable defaults).
+
+:class:`repro.core.config.RouterConfig` is a frozen dataclass shared by
+reference across routers, harnesses, and worker processes; assigning to
+its attributes (or smuggling a write through ``setattr`` /
+``object.__setattr__``) would either raise at runtime or, worse,
+diverge one reader's view of the configuration.  Derived configurations
+go through ``dataclasses.replace`` or ``RouterConfig.with_``.
+
+Mutable default arguments are the classic Python trap: a single list or
+dict instance shared across *every* call — state leaking between
+supposedly independent simulations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import FileContext, Finding, LintRule
+
+#: Names that identify a configuration object in an attribute chain.
+_CONFIG_NAMES = {"config", "cfg", "router_config", "net_config"}
+
+_MUTABLE_FACTORIES = {
+    "list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter",
+    "bytearray",
+}
+
+
+def _is_config_expr(node: ast.expr) -> bool:
+    """True when ``node`` denotes a config object (``config``,
+    ``self.config``, ``router.config``, ...)."""
+    if isinstance(node, ast.Name):
+        return node.id in _CONFIG_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _CONFIG_NAMES
+    return False
+
+
+class ConfigMutationRule(LintRule):
+    """R003: never assign to attributes of a (frozen) config object."""
+
+    code = "R003"
+    name = "no-config-mutation"
+    description = (
+        "attribute assignment on a frozen RouterConfig; use "
+        "dataclasses.replace / config.with_(...)"
+    )
+
+    _MESSAGE = (
+        "mutation of frozen config `{expr}`; build a new one with "
+        "dataclasses.replace / config.with_(...)"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and _is_config_expr(
+                        target.value
+                    ):
+                        yield self.finding(
+                            ctx, node,
+                            self._MESSAGE.format(expr=ast.unparse(target)),
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Attribute) and _is_config_expr(
+                        target.value
+                    ):
+                        yield self.finding(
+                            ctx, node,
+                            self._MESSAGE.format(expr=ast.unparse(target)),
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_setattr(ctx, node)
+
+    def _check_setattr(self, ctx: FileContext, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        is_setattr = isinstance(func, ast.Name) and func.id == "setattr"
+        is_object_setattr = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+        )
+        if not (is_setattr or is_object_setattr) or not node.args:
+            return
+        if _is_config_expr(node.args[0]):
+            yield self.finding(
+                ctx, node,
+                self._MESSAGE.format(expr=ast.unparse(node.args[0])),
+            )
+
+
+class MutableDefaultRule(LintRule):
+    """R004: no mutable default arguments."""
+
+    code = "R004"
+    name = "no-mutable-default"
+    description = "mutable default argument shared across calls"
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default `{ast.unparse(default)}` in "
+                        f"`{node.name}()` is shared across every call; "
+                        "default to None and construct inside the body",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in _MUTABLE_FACTORIES
+        return False

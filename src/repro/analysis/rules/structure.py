@@ -1,0 +1,107 @@
+"""Structural rule R005: the ``Router`` subclass contract.
+
+Every switch organization extends :class:`repro.routers.base.Router`,
+which owns the input banks, the statistics ledger, and the output-VC
+ownership table.  Two obligations keep that machinery sound:
+
+* a *direct* subclass of ``Router`` must implement the per-cycle hook —
+  either ``step`` itself or the ``_advance`` template hook that the base
+  ``step`` drives;
+* any subclass in the ``Router`` hierarchy that defines ``__init__``
+  must chain ``super().__init__(...)`` so the shared state (banks,
+  stats, ledger) is actually constructed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import FileContext, Finding, LintRule
+
+#: Hooks that satisfy the "implements the per-cycle step" obligation.
+_STEP_HOOKS = {"step", "_advance"}
+
+
+def _base_name(node: ast.expr) -> str:
+    """Textual name of a base-class expression (``Router``,
+    ``base.Router`` -> ``"Router"``; subscripts/calls -> ``""``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _calls_super_init(func: ast.FunctionDef) -> bool:
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == "__init__"
+            and isinstance(callee.value, ast.Call)
+            and isinstance(callee.value.func, ast.Name)
+            and callee.value.func.id == "super"
+        ):
+            return True
+        # Explicit form: Router.__init__(self, ...)
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == "__init__"
+            and _base_name(callee.value).endswith("Router")
+        ):
+            return True
+    return False
+
+
+class RouterSubclassRule(LintRule):
+    """R005: Router subclasses implement the step hook and chain init."""
+
+    code = "R005"
+    name = "router-subclass-contract"
+    description = (
+        "Router subclasses must implement step/_advance and call "
+        "super().__init__()"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = [_base_name(b) for b in node.bases]
+            direct_router_child = "Router" in base_names
+            in_router_family = any(
+                name == "Router" or name.endswith("Router")
+                for name in base_names
+            )
+            if not in_router_family:
+                continue
+
+            methods = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if direct_router_child and not (_STEP_HOOKS & methods.keys()):
+                yield self.finding(
+                    ctx, node,
+                    f"Router subclass `{node.name}` defines neither "
+                    "`step` nor `_advance`; the organization would "
+                    "inherit a cycle loop that moves nothing",
+                )
+            init = methods.get("__init__")
+            if (
+                isinstance(init, ast.FunctionDef)
+                and not _calls_super_init(init)
+            ):
+                yield self.finding(
+                    ctx, init,
+                    f"`{node.name}.__init__` never calls "
+                    "`super().__init__()`; input banks, stats, and the "
+                    "VC ledger would be left unconstructed",
+                )
+
+
+__all__ = ["RouterSubclassRule"]

@@ -6,7 +6,10 @@ Gives the library's main experiments a shell entry point:
 * ``saturate`` — saturation throughput for one or more organizations;
 * ``radix`` — the Section 2 analytical optimum for a technology point;
 * ``network`` — the Figure 19 Clos-network comparison;
-* ``area`` — storage/area comparison between organizations.
+* ``area`` — storage/area comparison between organizations;
+* ``run`` — a single measured run, optionally under the runtime
+  sanitizer (``--sanitize``);
+* ``lint`` — the repository's AST lint pass (rules R001-R005).
 
 Examples::
 
@@ -15,6 +18,8 @@ Examples::
     python -m repro radix --bandwidth 20e12 --delay 5e-9 --nodes 2048 --packet 256
     python -m repro network --load 0.5
     python -m repro area --radix 64
+    python -m repro run --arch buffered --radix 16 --load 0.8 --sanitize
+    python -m repro lint src
 """
 
 from __future__ import annotations
@@ -167,6 +172,70 @@ def cmd_saturate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """One measured run of one organization at one load point.
+
+    With ``--sanitize`` the router is wrapped in a
+    :class:`~repro.analysis.SimSanitizer`; an invariant violation
+    aborts the run with exit status 2 and the violation's location.
+    """
+    from .analysis.sanitizer import SimSanitizer
+    from .core.errors import InvariantViolation
+    from .harness.experiment import SwitchSimulation
+
+    config = _config_from_args(args)
+    router = ARCHITECTURES[args.arch](config)
+    sim = SwitchSimulation(
+        router,
+        load=args.load,
+        packet_size=args.packet_size,
+        pattern=_make_pattern(args.pattern, config),
+        injection=args.injection,
+        sanitize=args.sanitize,
+    )
+    try:
+        result = sim.run(_settings(args))
+        if args.sanitize:
+            # Drain to empty so the final accounting can be exact.
+            sim.stop_sources()
+            budget = 200000
+            while budget > 0 and (
+                any(s.backlog() for s in sim.sources)
+                or not sim.router.idle()
+            ):
+                sim.step()
+                budget -= 1
+            sim.router.assert_drained()
+    except InvariantViolation as exc:
+        print(f"sanitizer: invariant violation: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("offered load", f"{result.offered_load:.3f}"),
+            ("throughput", f"{result.throughput:.3f}"),
+            ("avg latency", f"{result.avg_latency:.1f}"),
+            ("saturated", str(result.saturated)),
+        ],
+        title=f"{args.arch} @ radix {config.radix}, load {args.load}"
+              + (" [sanitized]" if args.sanitize else ""),
+    ))
+    if args.sanitize:
+        checks = sim.router.checks_run
+        print(f"sanitizer: {checks} structural checks, 0 violations")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import run_lint
+
+    try:
+        return run_lint(args.paths)
+    except FileNotFoundError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+
+
 def cmd_radix(args: argparse.Namespace) -> int:
     tech = Technology(
         "cli", args.bandwidth, args.delay, args.nodes, args.packet, 0
@@ -185,7 +254,7 @@ def cmd_network(args: argparse.Namespace) -> int:
         ("low-radix", args.low_radix, args.low_levels),
     ):
         cfg = NetworkConfig(radix=radix, levels=levels)
-        sim = ClosNetworkSimulation(cfg, args.load)
+        sim = ClosNetworkSimulation(cfg, args.load, sanitize=args.sanitize)
         r = sim.run(warmup=args.warmup, measure=args.measure,
                     drain=args.drain)
         rows.append((
@@ -253,6 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_router_args(sat)
     sat.set_defaults(func=cmd_saturate)
 
+    run = subs.add_parser("run", help="single measured run (sanitizable)")
+    run.add_argument("--arch", choices=ARCHITECTURES, default="hierarchical")
+    run.add_argument("--load", type=float, default=0.5)
+    run.add_argument("--sanitize", action="store_true",
+                     help="verify conservation invariants every cycle")
+    _add_router_args(run)
+    run.set_defaults(func=cmd_run)
+
+    lint = subs.add_parser("lint", help="AST lint pass (R001-R005)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.set_defaults(func=cmd_lint)
+
     radix = subs.add_parser("radix", help="Section 2 optimal radix")
     radix.add_argument("--bandwidth", type=float, required=True,
                        help="router bandwidth, bits/s")
@@ -272,6 +354,8 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--warmup", type=int, default=600)
     net.add_argument("--measure", type=int, default=800)
     net.add_argument("--drain", type=int, default=8000)
+    net.add_argument("--sanitize", action="store_true",
+                     help="check link credit conservation every cycle")
     net.set_defaults(func=cmd_network)
 
     pipe = subs.add_parser("pipeline",

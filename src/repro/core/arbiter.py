@@ -15,6 +15,7 @@ two-class (nonspeculative over speculative) arbitration of Figure 10(b).
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
+from .errors import invariant
 
 
 class RoundRobinArbiter:
@@ -116,7 +117,8 @@ class HierarchicalArbiter:
         if winning_group is None:
             return None
         local_idx = local_winners[winning_group]
-        assert local_idx is not None
+        invariant(local_idx is not None, "global arbiter granted a group "
+                  "with no local winner", check="arbitration")
         self._locals[winning_group].commit(local_idx)
         return winning_group * self.group_size + local_idx
 
@@ -229,6 +231,7 @@ class MultiStageArbiter:
         if winning_group is None:
             return None
         local_idx = local_winners[winning_group]
-        assert local_idx is not None
+        invariant(local_idx is not None, "global arbiter granted a group "
+                  "with no local winner", check="arbitration")
         self._locals[winning_group].commit(local_idx)
         return winning_group * self._first + local_idx

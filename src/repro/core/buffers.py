@@ -92,7 +92,10 @@ class VcBufferBank:
         self.queues: List[FlitQueue] = [FlitQueue(depth) for _ in range(num_vcs)]
 
     def __len__(self) -> int:
-        return sum(len(q) for q in self.queues)
+        # Reaches through to the deques: this runs in every occupancy
+        # probe of every bank every cycle, so the per-queue Python
+        # __len__ dispatch is worth skipping.
+        return sum(len(q._q) for q in self.queues)
 
     def __getitem__(self, vc: int) -> FlitQueue:
         return self.queues[vc]

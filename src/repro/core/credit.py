@@ -85,6 +85,10 @@ class DelayedCreditPipe:
     def pending(self) -> int:
         return len(self._inflight)
 
+    def pending_sinks(self) -> List[Callable[[], None]]:
+        """Undelivered sink callbacks (for credit-conservation probes)."""
+        return [sink for _, sink in self._inflight]
+
 
 class CreditReturnBus:
     """Shared credit-return bus for one input row of crosspoints.
@@ -133,6 +137,11 @@ class CreditReturnBus:
     def backlog(self) -> int:
         """Credits still waiting for the bus (excludes in-flight ones)."""
         return sum(len(q) for q in self._pending)
+
+    def pending_sinks(self) -> List[Callable[[], None]]:
+        """Every undelivered sink: waiting for the bus or on the wire."""
+        waiting = [sink for q in self._pending for sink in q]
+        return waiting + self._pipe.pending_sinks()
 
     def idle(self) -> bool:
         return self.backlog() == 0 and self._pipe.pending() == 0

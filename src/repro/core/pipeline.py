@@ -52,6 +52,10 @@ class DelayLine(Generic[T]):
         """Return matured items without removing them."""
         return [item for due, _, item in self._heap if due <= now]
 
+    def items(self) -> List[T]:
+        """Every queued item, matured or not (for invariant probes)."""
+        return [item for _, _, item in self._heap]
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..core.config import RouterConfig
+from ..core.errors import invariant
 from ..routers.base import Router
 from ..traffic.injection import Bernoulli, InjectionProcess, MarkovOnOff
 from ..traffic.patterns import TrafficPattern, UniformRandom
@@ -63,9 +64,16 @@ class SwitchSimulation:
         avg_burst: float = 8.0,
         seed: Optional[int] = None,
         record_delivered: bool = False,
+        sanitize: bool = False,
     ) -> None:
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
+        if sanitize:
+            # Imported lazily: the analysis layer sits above the harness.
+            from ..analysis.sanitizer import SimSanitizer
+
+            if not isinstance(router, SimSanitizer):
+                router = SimSanitizer(router)
         self.router = router
         self.config = router.config
         self.load = load
@@ -149,7 +157,8 @@ class SwitchSimulation:
                 if vc is None:
                     continue
                 self._packet_vc[i] = vc
-            assert vc is not None
+            invariant(vc is not None, "packet VC lost mid-packet",
+                      cycle=now, port=i, check="injection")
             if self.router.input_space(i, vc) < 1:
                 continue
             flit.vc = vc
@@ -261,6 +270,7 @@ def run_load_sweep(
     avg_burst: float = 8.0,
     settings: Optional[SweepSettings] = None,
     seed: Optional[int] = None,
+    sanitize: bool = False,
 ) -> SweepResult:
     """Simulate one router at each offered load; returns the curve."""
     sweep = SweepResult(label=label or type(make_router(config)).__name__)
@@ -274,6 +284,7 @@ def run_load_sweep(
             injection=injection,
             avg_burst=avg_burst,
             seed=seed,
+            sanitize=sanitize,
         )
         sweep.results.append(sim.run(settings))
     return sweep
@@ -289,6 +300,7 @@ def saturation_throughput(
     settings: Optional[SweepSettings] = None,
     load: float = 1.0,
     seed: Optional[int] = None,
+    sanitize: bool = False,
 ) -> float:
     """Accepted throughput at (near-)unit offered load."""
     router = make_router(config)
@@ -300,6 +312,7 @@ def saturation_throughput(
         injection=injection,
         avg_burst=avg_burst,
         seed=seed,
+        sanitize=sanitize,
     )
     return sim.run(settings).throughput
 
@@ -313,6 +326,7 @@ def find_saturation_load(
     settings: Optional[SweepSettings] = None,
     tolerance: float = 0.02,
     seed: Optional[int] = None,
+    sanitize: bool = False,
 ) -> float:
     """Binary-search the saturation load of a router configuration.
 
@@ -342,6 +356,7 @@ def find_saturation_load(
             pattern=pattern_factory(config),
             injection=injection,
             seed=seed,
+            sanitize=sanitize,
         )
         result = sim.run(settings)
         return result.saturated or result.throughput < load - slack

@@ -27,12 +27,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..core.errors import InvariantViolation
 from ..core.flit import Flit
 from ..routers.base import Router, RouterStats
 
-
-class InvariantViolation(AssertionError):
-    """A router broke one of the external-contract invariants."""
+__all__ = ["CheckedRouter", "InvariantViolation"]
 
 
 class CheckedRouter:

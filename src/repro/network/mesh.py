@@ -24,8 +24,10 @@ Switch ids are coordinate tuples; port numbering per switch:
 
 from __future__ import annotations
 
-import random
 from typing import List, Sequence, Tuple
+
+from ..core.rng import Rng
+from ..core.errors import invariant
 
 from .topology import PortRef
 
@@ -152,11 +154,12 @@ class Mesh:
         """Routers traversed under dimension-order routing."""
         a = self.host_attachment(src_host).switch
         b = self.host_attachment(dst_host).switch
-        assert a is not None and b is not None
+        invariant(a is not None and b is not None,
+                  "host attaches to no switch", check="topology")
         return 1 + sum(abs(x - y) for x, y in zip(a, b))
 
     def route(
-        self, src_host: int, dst_host: int, rng: random.Random
+        self, src_host: int, dst_host: int, rng: Rng
     ) -> List[int]:
         """Dimension-order (e-cube) source route.
 
@@ -168,7 +171,8 @@ class Mesh:
         src = self.host_attachment(src_host).switch
         dst_ref = self.host_attachment(dst_host)
         dst = dst_ref.switch
-        assert src is not None and dst is not None
+        invariant(src is not None and dst is not None,
+                  "host attaches to no switch", check="topology")
         ports: List[int] = []
         current = list(src)
         for d in range(self.n):

@@ -16,6 +16,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core.errors import invariant
 from ..core.flit import Flit, make_packet
 from ..core.rng import derive_rng
 from ..harness.stats import LatencySample, RunResult, summarize
@@ -64,6 +65,7 @@ class NetworkSimulation:
         load: float,
         topology: Optional[Topology] = None,
         host_pattern: Optional[object] = None,
+        sanitize: bool = False,
     ) -> None:
         """Args:
             config: Router/channel parameters (``radix``/``levels`` are
@@ -75,6 +77,9 @@ class NetworkSimulation:
                 :class:`~repro.traffic.patterns.TrafficPattern` built
                 for ``topology.num_hosts`` ports); uniform random when
                 omitted.
+            sanitize: Run a :class:`~repro.analysis.NetworkSanitizer`
+                check (link credit conservation, buffer bounds) after
+                every cycle.
         """
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -102,6 +107,13 @@ class NetworkSimulation:
         # Global in-flight flit event queue: (arrival, seq, flit, target).
         self._inflight: List[Tuple[int, int, Flit, object]] = []
         self._seq = itertools.count()
+        if sanitize:
+            # Imported lazily: analysis sits above the network layer.
+            from ..analysis.sanitizer import NetworkSanitizer
+
+            self._sanitizer: Optional[NetworkSanitizer] = NetworkSanitizer(self)
+        else:
+            self._sanitizer = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -143,6 +155,9 @@ class NetworkSimulation:
                 self._inflight, (arrival, next(self._seq), flit, (target, port))
             )
 
+        # Expose the wiring for NetworkSanitizer's credit probe.
+        deliver.target = target  # type: ignore[attr-defined]
+        deliver.port = port  # type: ignore[attr-defined]
         return deliver
 
     def _make_host_sink(self, host: Optional[int]):
@@ -158,6 +173,7 @@ class NetworkSimulation:
         def restore(vc: int) -> None:
             link.restore_credit(vc)
 
+        restore.link = link  # type: ignore[attr-defined]
         return restore
 
     # ------------------------------------------------------------------
@@ -172,6 +188,8 @@ class NetworkSimulation:
         for router in self.routers.values():
             router.step()
         self.cycle += 1
+        if self._sanitizer is not None:
+            self._sanitizer.check(self.cycle)
 
     def _deliver_arrivals(self, now: int) -> None:
         while self._inflight and self._inflight[0][0] <= now:
@@ -217,7 +235,9 @@ class NetworkSimulation:
                 continue
             flit = self._source_q[host][0]
             attach = topo.host_attachment(host)
-            assert attach.switch is not None
+            invariant(attach.switch is not None,
+                      "host attaches to no switch", cycle=now,
+                      check="topology")
             router = self.routers[attach.switch]
             vc = self._packet_vc[host]
             if flit.is_head and vc is None:
@@ -225,7 +245,8 @@ class NetworkSimulation:
                 if vc is None:
                     continue
                 self._packet_vc[host] = vc
-            assert vc is not None
+            invariant(vc is not None, "packet VC lost mid-packet",
+                      cycle=now, port=attach.port, check="injection")
             if router.input_space(attach.port, vc) < 1:
                 continue
             flit.vc = vc
@@ -285,8 +306,10 @@ class NetworkSimulation:
 class ClosNetworkSimulation(NetworkSimulation):
     """Figure 19's configuration: a folded Clos built from ``config``."""
 
-    def __init__(self, config: NetworkConfig, load: float) -> None:
-        super().__init__(config, load)
+    def __init__(
+        self, config: NetworkConfig, load: float, sanitize: bool = False
+    ) -> None:
+        super().__init__(config, load, sanitize=sanitize)
 
 
 def run_network_sweep(

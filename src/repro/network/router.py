@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..core.arbiter import RoundRobinArbiter
+from ..core.errors import invariant
 from ..core.buffers import VcBufferBank
 from ..core.credit import CreditCounter
 from ..core.flit import Flit
@@ -118,8 +119,9 @@ class NetworkRouter:
         self._output_arb = [RoundRobinArbiter(n) for _ in range(n)]
         self.input_busy = BusyTracker(n)
         self.output_busy = BusyTracker(n)
-        # Credits owed upstream: (callback,) delayed by credit_latency.
-        self._credit_out: DelayLine[Callable[[], None]] = DelayLine(
+        # Credits owed upstream: (sink, vc) pairs delayed by
+        # credit_latency, kept unapplied so sanitizers can count them.
+        self._credit_out: DelayLine[Tuple[Callable[[int], None], int]] = DelayLine(
             config.credit_latency
         )
         # Per-input credit-return callbacks, installed during wiring.
@@ -149,11 +151,13 @@ class NetworkRouter:
     # ------------------------------------------------------------------
 
     def step(self) -> None:
-        for cb in self._credit_out.pop_ready(self.cycle):
-            cb()
+        for sink, vc in self._credit_out.pop_ready(self.cycle):
+            sink(vc)
         for port, vc, pid in self._vc_release.pop_ready(self.cycle):
             link = self.links[port]
-            assert link is not None
+            invariant(link is not None, "VC release on a detached output "
+                      "port", cycle=self.cycle, port=port, vc=vc,
+                      check="topology")
             link.vc_state.release(vc, pid)
         self._allocate()
         self.cycle += 1
@@ -172,7 +176,9 @@ class NetworkRouter:
             if vc is None:
                 continue
             flit = cands[vc]
-            assert flit is not None
+            invariant(flit is not None, "input arbiter granted a VC with "
+                      "no candidate flit", cycle=self.cycle, port=i, vc=vc,
+                      check="arbitration")
             out = flit.route[flit.hops]
             requests.setdefault(out, []).append((i, vc, flit))
         for out, reqs in requests.items():
@@ -217,9 +223,12 @@ class NetworkRouter:
 
     def _transmit(self, i: int, vc: int, flit: Flit, out: int) -> None:
         link = self.links[out]
-        assert link is not None
+        invariant(link is not None, "transmit toward a detached output "
+                  "port", cycle=self.cycle, port=out, check="topology")
         popped = self.inputs[i][vc].pop()
-        assert popped is flit
+        invariant(popped is flit, "input buffer head changed between "
+                  "grant and pop", cycle=self.cycle, port=i, vc=vc,
+                  check="buffer-integrity")
         fc = self.config.flit_cycles
         self.input_busy.reserve(i, self.cycle, fc)
         self.output_busy.reserve(out, self.cycle, fc)
@@ -237,4 +246,4 @@ class NetworkRouter:
         # Return a credit upstream for the freed input buffer slot.
         sink = self.credit_sinks[i]
         if sink is not None:
-            self._credit_out.push(self.cycle, lambda s=sink, v=vc: s(v))
+            self._credit_out.push(self.cycle, (sink, vc))

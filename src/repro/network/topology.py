@@ -22,9 +22,11 @@ the oblivious randomization lives — then deterministically down.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
+
+from ..core.rng import Rng
+from ..core.errors import invariant
 
 #: A switch address: (level, subtree, position).
 SwitchId = Tuple[int, int, int]
@@ -172,7 +174,7 @@ class FoldedClos:
         return 2 * self.lca_level(src_host, dst_host) + 1
 
     def route(
-        self, src_host: int, dst_host: int, rng: random.Random
+        self, src_host: int, dst_host: int, rng: Rng
     ) -> List[int]:
         """Oblivious source route: output port at each router on the path.
 
@@ -185,13 +187,15 @@ class FoldedClos:
         m = self.m
         ports: List[int] = []
         switch = self.host_attachment(src_host).switch
-        assert switch is not None
+        invariant(switch is not None, "host attaches to no switch",
+                  check="topology")
         # Ascend: random up port at each level below the LCA.
         for _ in range(lca):
             port = m + rng.randrange(m)
             ports.append(port)
             switch = self.up_neighbor(switch, port).switch
-            assert switch is not None
+            invariant(switch is not None, "up port leads outside the "
+                      "switch fabric", port=port, check="topology")
         # Descend: pick the down port toward dst at each level.
         for level in range(lca, -1, -1):
             port = (dst_host // (m ** level)) % m

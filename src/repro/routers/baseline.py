@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.arbiter import RoundRobinArbiter
 from ..core.config import RouterConfig
+from ..core.errors import invariant
 from ..core.flit import Flit
 from .base import Router
 
@@ -67,7 +68,9 @@ class BaselineRouter(Router):
             if vc is None:
                 continue
             flit = eligible[vc]
-            assert flit is not None
+            invariant(flit is not None, "input arbiter granted a VC with "
+                      "no eligible flit", cycle=self.cycle, port=i, vc=vc,
+                      check="arbitration")
             requests.setdefault(flit.dest, []).append((i, vc, flit))
         return requests
 
@@ -115,7 +118,9 @@ class BaselineRouter(Router):
         if flit.is_tail:
             del self._alloc[key]
         popped = self.inputs[i][vc].pop()
-        assert popped is flit
+        invariant(popped is flit, "input buffer head changed between "
+                  "grant and pop", cycle=self.cycle, port=i, vc=vc,
+                  check="buffer-integrity")
         self.input_busy.reserve(i, self.cycle, self.config.flit_cycles)
         self._start_traversal(flit, out)
 

@@ -43,6 +43,7 @@ from ..allocation.switch_alloc import OutputArbiterBank
 from ..core.arbiter import RoundRobinArbiter
 from ..core.buffers import VcBufferBank
 from ..core.config import RouterConfig
+from ..core.errors import invariant
 from ..core.credit import CreditCounter, CreditReturnBus, DelayedCreditPipe
 from ..core.flit import Flit
 from ..core.pipeline import DelayLine
@@ -62,6 +63,13 @@ class BufferedCrossbarRouter(Router):
         self._credits: List[List[List[CreditCounter]]] = [
             [[CreditCounter(depth) for _ in range(v)] for _ in range(k)]
             for _ in range(k)
+        ]
+        # Flat view of every crosspoint queue's deque: the occupancy
+        # scan over k*k*v queues runs every cycle under the sanitizer,
+        # so it must stay a single C-level sum(map(len, ...)).
+        self._xp_flat = [
+            q._q for row in self.crosspoints for bank in row
+            for q in bank.queues
         ]
         self._input_arb = [RoundRobinArbiter(v) for _ in range(k)]
         self._xp_vc_arb = [
@@ -112,9 +120,13 @@ class BufferedCrossbarRouter(Router):
             if vc is None:
                 continue
             flit = sendable[vc]
-            assert flit is not None
+            invariant(flit is not None, "input arbiter granted a VC with "
+                      "no sendable flit", cycle=now, port=i, vc=vc,
+                      check="arbitration")
             popped = self.inputs[i][vc].pop()
-            assert popped is flit
+            invariant(popped is flit, "input buffer head changed between "
+                      "arbitration and pop", cycle=now, port=i, vc=vc,
+                      check="buffer-integrity")
             self._credits[i][flit.dest][vc].consume()
             self.input_busy.reserve(i, now, self.config.flit_cycles)
             self._to_crosspoint.push(now, (flit, i, flit.dest))
@@ -147,7 +159,9 @@ class BufferedCrossbarRouter(Router):
             if not self.output_busy.free(j, now) or not self._occupied[j]:
                 continue
             candidates: dict = {}
-            for i in self._occupied[j]:
+            # Sorted so candidate order (which feeds the output arbiter)
+            # never depends on set iteration order.
+            for i in sorted(self._occupied[j]):
                 cand = self._crosspoint_candidate(i, j)
                 if cand is not None:
                     candidates[i] = cand
@@ -174,7 +188,9 @@ class BufferedCrossbarRouter(Router):
         if vc is None:
             return None
         flit = bank[vc].head()
-        assert flit is not None
+        invariant(flit is not None, "crosspoint VC arbiter granted an "
+                  "empty VC", cycle=self.cycle, port=i, vc=vc,
+                  check="arbitration")
         return vc, flit
 
     def _xp_flit_ready(self, j: int, flit: Optional[Flit]) -> bool:
@@ -193,7 +209,9 @@ class BufferedCrossbarRouter(Router):
 
     def _transmit(self, i: int, j: int, vc: int, flit: Flit) -> None:
         popped = self.crosspoints[i][j][vc].pop()
-        assert popped is flit
+        invariant(popped is flit, "crosspoint buffer head changed between "
+                  "arbitration and pop", cycle=self.cycle, port=i, vc=vc,
+                  check="buffer-integrity")
         if self.crosspoints[i][j].occupancy() == 0:
             self._occupied[j].discard(i)
         if flit.is_head:
@@ -211,7 +229,9 @@ class BufferedCrossbarRouter(Router):
         if self._credit_pipes is not None:
             self._credit_pipes[i].send(self.cycle, counter.restore)
         else:
-            assert self._credit_buses is not None
+            invariant(self._credit_buses is not None, "credit return "
+                      "misconfigured: neither pipes nor buses present",
+                      cycle=self.cycle, port=i, check="credit-return")
             self._credit_buses[i].post(j, counter.restore)
 
     def _step_credit_return(self) -> None:
@@ -219,18 +239,17 @@ class BufferedCrossbarRouter(Router):
             for pipe in self._credit_pipes:
                 pipe.step(self.cycle)
         else:
-            assert self._credit_buses is not None
+            invariant(self._credit_buses is not None, "credit return "
+                      "misconfigured: neither pipes nor buses present",
+                      cycle=self.cycle, check="credit-return")
             for bus in self._credit_buses:
                 bus.step(self.cycle)
 
     # ------------------------------------------------------------------
 
     def _extra_occupancy(self) -> int:
-        buffered = sum(
-            bank.occupancy() for row in self.crosspoints for bank in row
-        )
-        return buffered + self._in_flight_to_xp
+        return sum(map(len, self._xp_flat)) + self._in_flight_to_xp
 
     def crosspoint_occupancy(self) -> int:
         """Total flits held in crosspoint buffers (for tests/metrics)."""
-        return sum(bank.occupancy() for row in self.crosspoints for bank in row)
+        return sum(map(len, self._xp_flat))

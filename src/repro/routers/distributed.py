@@ -48,6 +48,7 @@ from ..allocation.switch_alloc import OutputArbiterBank
 from ..allocation.vc_alloc import CvaPolicy, OvaPolicy
 from ..core.arbiter import RoundRobinArbiter
 from ..core.config import RouterConfig
+from ..core.errors import invariant
 from ..core.flit import Flit
 from ..core.pipeline import DelayLine
 from .base import Router
@@ -129,7 +130,9 @@ class DistributedRouter(Router):
             if vc is None:
                 continue
             request = candidates[vc]
-            assert request is not None
+            invariant(request is not None, "input arbiter granted a VC "
+                      "with no candidate request", cycle=self.cycle,
+                      port=i, vc=vc, check="arbitration")
             if request.kind == KIND_SWITCH:
                 self.speculation.record_request(request.speculative)
             self._pending[i] = request
@@ -200,7 +203,9 @@ class DistributedRouter(Router):
     def _resolve_va_only(self, req: _Request) -> None:
         """Non-speculative VA request: allocate the VC if free."""
         state = self.output_vcs[req.out]
-        assert req.out_vc is not None
+        invariant(req.out_vc is not None, "VA request carries no output "
+                  "VC", cycle=self.cycle, port=req.input,
+                  check="vc-ownership")
         if state.is_free(req.out_vc):
             state.allocate(req.out_vc, req.flit.packet_id)
             self._alloc[(req.input, req.vc)] = req.out_vc
@@ -225,7 +230,9 @@ class DistributedRouter(Router):
         if winner is None:
             return
         if winner.speculative:
-            assert winner.out_vc is not None
+            invariant(winner.out_vc is not None, "speculative CVA request "
+                      "carries no output VC", cycle=self.cycle,
+                      port=winner.input, check="vc-ownership")
             if not self._cva.admissible(
                 self.output_vcs[out], winner.out_vc, winner.flit.packet_id
             ):
@@ -289,7 +296,9 @@ class DistributedRouter(Router):
         i, vc, flit, out = req.input, req.vc, req.flit, req.out
         key = (i, vc)
         if flit.is_head and key not in self._alloc:
-            assert req.out_vc is not None
+            invariant(req.out_vc is not None, "granted head flit has no "
+                      "allocated output VC", cycle=self.cycle, port=i,
+                      vc=vc, check="vc-ownership")
             self.output_vcs[out].allocate(req.out_vc, flit.packet_id)
             self._alloc[key] = req.out_vc
             self._spec_vc.pop(key, None)
@@ -298,7 +307,9 @@ class DistributedRouter(Router):
             del self._alloc[key]
             self._va_done.discard(key)
         popped = self.inputs[i][vc].pop()
-        assert popped is flit
+        invariant(popped is flit, "input buffer head changed between "
+                  "grant and pop", cycle=self.cycle, port=i, vc=vc,
+                  check="buffer-integrity")
         start = self.cycle + extra_delay
         self.input_busy.extend(i, start + self.config.flit_cycles)
         self._start_traversal(flit, out, start=start)

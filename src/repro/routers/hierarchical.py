@@ -38,6 +38,7 @@ from ..core.arbiter import RoundRobinArbiter
 from ..core.buffers import VcBufferBank
 from ..core.config import RouterConfig
 from ..core.credit import CreditCounter, DelayedCreditPipe
+from ..core.errors import invariant
 from ..core.flit import Flit
 from ..core.pipeline import BusyTracker, DelayLine
 from .base import Router
@@ -133,10 +134,14 @@ class HierarchicalCrossbarRouter(Router):
             if vc is None:
                 continue
             flit = sendable[vc]
-            assert flit is not None
+            invariant(flit is not None, "input arbiter granted a VC with "
+                      "no sendable flit", cycle=now, port=i, vc=vc,
+                      check="arbitration")
             col = flit.dest // p
             popped = self.inputs[i][vc].pop()
-            assert popped is flit
+            invariant(popped is flit, "input buffer head changed between "
+                      "arbitration and pop", cycle=now, port=i, vc=vc,
+                      check="buffer-integrity")
             self._in_credits[i][col][vc].consume()
             self.input_busy.reserve(i, now, self.config.flit_cycles)
             self._to_sub.push(now, (flit, i, col))
@@ -194,7 +199,8 @@ class HierarchicalCrossbarRouter(Router):
             if vc is None:
                 continue
             flit = cands[vc]
-            assert flit is not None
+            invariant(flit is not None, "subswitch input arbiter granted "
+                      "an empty VC", cycle=now, vc=vc, check="arbitration")
             lo = flit.dest % p
             requests.setdefault(lo, []).append((li, vc, flit))
         # Local output arbitration per subswitch output lane.
@@ -242,7 +248,9 @@ class HierarchicalCrossbarRouter(Router):
     ) -> None:
         popped = sub.in_bufs[li][vc].pop()
         sub.resident -= 1
-        assert popped is flit
+        invariant(popped is flit, "subswitch input buffer head changed "
+                  "before pop", cycle=self.cycle, vc=vc,
+                  check="buffer-integrity")
         out_vc = flit.vc
         flit.out_vc = out_vc
         if flit.is_head:
@@ -278,7 +286,9 @@ class HierarchicalCrossbarRouter(Router):
             if winner is None:
                 continue
             cand = candidates[winner]
-            assert cand is not None
+            invariant(cand is not None, "output port arbiter granted an "
+                      "empty candidate slot", cycle=now, port=j,
+                      check="arbitration")
             vc, flit = cand
             self._port_transmit(j, winner, c, lo, vc, flit)
 
@@ -298,13 +308,16 @@ class HierarchicalCrossbarRouter(Router):
         if vc is None:
             return None
         flit = bank[vc].head()
-        assert flit is not None
+        invariant(flit is not None, "port VC arbiter granted an empty VC",
+                  port=j, vc=vc, check="arbitration")
         return vc, flit
 
     def _global_vc_ok(self, j: int, flit: Flit) -> bool:
         """Global VC allocation check at output j (among subswitches)."""
         state = self.output_vcs[j]
-        assert flit.out_vc is not None
+        invariant(flit.out_vc is not None, "flit reached global VC check "
+                  "without a local VC assignment", port=j,
+                  check="vc-ownership")
         if flit.is_head:
             return (
                 state.is_free(flit.out_vc)
@@ -317,7 +330,9 @@ class HierarchicalCrossbarRouter(Router):
     ) -> None:
         popped = self.sub[r][c].out_bufs[lo][vc].pop()
         self.sub[r][c].resident -= 1
-        assert popped is flit
+        invariant(popped is flit, "subswitch output buffer head changed "
+                  "before pop", cycle=self.cycle, port=j, vc=vc,
+                  check="buffer-integrity")
         if flit.is_head:
             self.output_vcs[j].allocate(flit.out_vc, flit.packet_id)
         self._start_traversal(flit, j)

@@ -37,6 +37,7 @@ from ..allocation.switch_alloc import OutputArbiterBank
 from ..core.arbiter import RoundRobinArbiter
 from ..core.buffers import FlitQueue
 from ..core.config import RouterConfig
+from ..core.errors import invariant
 from ..core.credit import CreditCounter
 from ..core.flit import Flit
 from ..core.pipeline import DelayLine
@@ -100,7 +101,9 @@ class SharedBufferCrossbarRouter(Router):
             if vc is None:
                 continue
             flit = sendable[vc]
-            assert flit is not None
+            invariant(flit is not None, "input arbiter granted a VC with "
+                      "no sendable flit", cycle=self.cycle, port=i, vc=vc,
+                      check="arbitration")
             self._credits[i][flit.dest].consume()
             self._awaiting[i][vc] = True
             self.input_busy.reserve(i, now, self.config.flit_cycles)

@@ -28,6 +28,7 @@ from typing import List, Optional, Set
 
 from ..allocation.islip import IslipAllocator
 from ..core.arbiter import RoundRobinArbiter
+from ..core.errors import invariant
 from ..core.buffers import VcBufferBank
 from ..core.config import RouterConfig
 from ..core.flit import Flit
@@ -64,7 +65,9 @@ class VoqRouter(Router):
                 queue = self.inputs[i][vc]
                 while queue:
                     flit = queue.head()
-                    assert flit is not None
+                    invariant(flit is not None, "non-empty input queue "
+                              "returned no head flit", cycle=self.cycle,
+                              port=i, vc=vc, check="buffer-integrity")
                     if (
                         flit.is_head
                         and self.cycle - flit.injected_at < self._head_delay
@@ -81,7 +84,7 @@ class VoqRouter(Router):
                 requests.append(set())
                 continue
             wants = set()
-            for j in self._occupied[i]:
+            for j in sorted(self._occupied[i]):
                 if not self.output_busy.free(j, now):
                     continue
                 if self._ready_vc(i, j, peek=True) is not None:
@@ -108,7 +111,8 @@ class VoqRouter(Router):
 
     def _transmit(self, i: int, j: int) -> None:
         vc = self._ready_vc(i, j)
-        assert vc is not None
+        invariant(vc is not None, "iSLIP matched a VOQ with no ready VC",
+                  cycle=self.cycle, port=i, check="arbitration")
         flit = self.voqs[i][j][vc].pop()
         if self.voqs[i][j].occupancy() == 0:
             self._occupied[i].discard(j)

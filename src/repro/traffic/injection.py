@@ -14,7 +14,7 @@ capacity) into a packet rate via
 
 from __future__ import annotations
 
-import random
+from ..core.rng import Rng
 
 
 class InjectionProcess:
@@ -25,14 +25,14 @@ class InjectionProcess:
             raise ValueError(f"rate must be in [0, 1] packets/cycle, got {rate}")
         self.rate = rate
 
-    def should_inject(self, rng: random.Random) -> bool:
+    def should_inject(self, rng: Rng) -> bool:
         raise NotImplementedError
 
 
 class Bernoulli(InjectionProcess):
     """Independent Bernoulli trial each cycle (Section 4.3)."""
 
-    def should_inject(self, rng: random.Random) -> bool:
+    def should_inject(self, rng: Rng) -> bool:
         return rng.random() < self.rate
 
 
@@ -78,7 +78,7 @@ class MarkovOnOff(InjectionProcess):
             self._alpha = 1.0 / mean_off
         self._on = False
 
-    def should_inject(self, rng: random.Random) -> bool:
+    def should_inject(self, rng: Rng) -> bool:
         if self.rate == 0.0:
             return False
         if not self._on:

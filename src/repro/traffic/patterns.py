@@ -20,8 +20,9 @@ experimentation beyond the paper.
 
 from __future__ import annotations
 
-import random
 from typing import List, Optional, Sequence
+
+from ..core.rng import Rng
 
 
 class TrafficPattern:
@@ -32,7 +33,7 @@ class TrafficPattern:
             raise ValueError(f"num_ports must be >= 2, got {num_ports}")
         self.num_ports = num_ports
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         """Destination port for a packet from ``src``."""
         raise NotImplementedError
 
@@ -44,7 +45,7 @@ class TrafficPattern:
 class UniformRandom(TrafficPattern):
     """Every output is equally likely for every input."""
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         return rng.randrange(self.num_ports)
 
 
@@ -64,7 +65,7 @@ class Diagonal(TrafficPattern):
             )
         self.fraction_same = fraction_same
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         if rng.random() < self.fraction_same:
             return src % self.num_ports
         return (src + 1) % self.num_ports
@@ -103,7 +104,7 @@ class Hotspot(TrafficPattern):
             raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
         self.hot_fraction = hot_fraction
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         if rng.random() < self.hot_fraction:
             return rng.choice(self.hotspots)
         return rng.randrange(self.num_ports)
@@ -128,7 +129,7 @@ class WorstCaseHierarchical(TrafficPattern):
             )
         self.subswitch_size = subswitch_size
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         p = self.subswitch_size
         row = src // p
         base = row * p  # column index == row index (diagonal)
@@ -147,7 +148,7 @@ class Transpose(TrafficPattern):
             )
         self.side = side
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         row, col = divmod(src, self.side)
         return col * self.side + row
 
@@ -164,7 +165,7 @@ class BitComplement(TrafficPattern):
             )
         self.mask = num_ports - 1
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         return (~src) & self.mask
 
 
@@ -177,7 +178,7 @@ class Permutation(TrafficPattern):
             raise ValueError("mapping must be a permutation of 0..k-1")
         self.mapping = list(mapping)
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         return self.mapping[src]
 
 
@@ -188,7 +189,7 @@ class Tornado(TrafficPattern):
     ring-like topologies and a useful stress permutation for switches.
     """
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         k = self.num_ports
         return (src + (k + 1) // 2 - 1) % k
 
@@ -204,7 +205,7 @@ class Shuffle(TrafficPattern):
             )
         self.bits = num_ports.bit_length() - 1
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         msb = (src >> (self.bits - 1)) & 1
         return ((src << 1) | msb) & (self.num_ports - 1)
 
@@ -219,5 +220,5 @@ class NeighborExchange(TrafficPattern):
                 f"neighbor exchange needs an even port count, got {num_ports}"
             )
 
-    def dest(self, src: int, rng: random.Random) -> int:
+    def dest(self, src: int, rng: Rng) -> int:
         return src ^ 1

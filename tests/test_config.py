@@ -78,4 +78,4 @@ class TestWith:
     def test_frozen(self):
         cfg = RouterConfig()
         with pytest.raises(Exception):
-            cfg.radix = 16  # type: ignore[misc]
+            cfg.radix = 16  # type: ignore[misc]  # lint: disable=R003

@@ -1,6 +1,6 @@
 """Tests for the mesh topology and dimension-order routing."""
 
-import random
+import random  # lint: disable=R001 (tests build local seeded streams)
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -11,6 +11,7 @@ from collections import defaultdict
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.analysis.sanitizer import SimSanitizer
 from repro.core.config import RouterConfig
 from repro.core.flit import make_packet
 from repro.routers import (
@@ -45,12 +46,18 @@ packets_strategy = st.lists(
 
 
 def _drive(router_cls, packets, num_vcs=2):
-    """Inject the packets (respecting buffer space) and drain fully."""
+    """Inject the packets (respecting buffer space) and drain fully.
+
+    The router runs under :class:`SimSanitizer`, so every randomized
+    workload doubles as a structural fuzz test: flit/credit
+    conservation, buffer bounds, and VC ownership are verified as the
+    simulation advances (the returned router is the unwrapped model).
+    """
     cfg = RouterConfig(
         radix=8, num_vcs=num_vcs, subswitch_size=4, local_group_size=4,
         input_buffer_depth=8,
     )
-    router = router_cls(cfg)
+    router = SimSanitizer(router_cls(cfg), check_interval=4)
     # Pending flits per (input, vc) in packet order.
     pending = defaultdict(list)
     for src, dest, size, vc in packets:
@@ -66,7 +73,9 @@ def _drive(router_cls, packets, num_vcs=2):
         delivered.extend(router.drain_ejected())
         if router.idle() and not any(pending.values()):
             break
-    return router, delivered
+    if router.idle() and not any(pending.values()):
+        router.assert_drained()
+    return router.inner, delivered
 
 
 @pytest.mark.parametrize("router_cls", ALL_ROUTERS)
