@@ -1,0 +1,105 @@
+"""Gate CI on simulator performance: compare a pytest-benchmark JSON
+run against the checked-in baseline.
+
+Absolute wall times differ wildly across CI machines, so the baseline
+stores *reference-normalized ratios*: every benchmark's mean time is
+divided by the mean of a designated reference benchmark from the same
+run (the radix-32 baseline-router step, the simplest hot loop in the
+tree).  Machine speed cancels out of the ratio; what remains is the
+relative cost of each code path, which is what a regression changes.
+
+Usage::
+
+    pytest benchmarks/test_perf_simulator.py --benchmark-json=run.json
+    python benchmarks/check_perf_regression.py run.json
+
+    # Refresh the baseline after an intentional perf change:
+    python benchmarks/check_perf_regression.py run.json --update
+
+Exit status 1 when any benchmark's ratio exceeds its baseline ratio by
+more than the tolerance (default 25%).  Benchmarks present in the run
+but absent from the baseline are reported and skipped, so adding a
+benchmark does not break CI until the baseline is refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "results" / "perf_baseline.json"
+REFERENCE = "test_perf_router_step[baseline]"
+TOLERANCE = 0.25
+
+
+def load_ratios(run_path: Path) -> dict:
+    """Reference-normalized {benchmark name: ratio} from a run JSON."""
+    data = json.loads(run_path.read_text())
+    means = {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+    if REFERENCE not in means:
+        sys.exit(f"reference benchmark {REFERENCE!r} missing from run")
+    ref = means[REFERENCE]
+    if ref <= 0:
+        sys.exit(f"reference benchmark mean is non-positive: {ref}")
+    return {name: mean / ref for name, mean in sorted(means.items())}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("run", type=Path,
+                        help="pytest-benchmark JSON output to check")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional regression "
+                             f"(default {TOLERANCE})")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    args = parser.parse_args(argv)
+
+    ratios = load_ratios(args.run)
+    if args.update:
+        args.baseline.parent.mkdir(exist_ok=True)
+        args.baseline.write_text(json.dumps(
+            {"reference": REFERENCE, "ratios": ratios}, indent=2
+        ) + "\n")
+        print(f"baseline updated: {args.baseline} "
+              f"({len(ratios)} benchmarks)")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    if baseline.get("reference") != REFERENCE:
+        sys.exit("baseline was built against a different reference "
+                 f"benchmark: {baseline.get('reference')!r}")
+    failures = []
+    for name, base_ratio in sorted(baseline["ratios"].items()):
+        if name == REFERENCE:
+            continue
+        if name not in ratios:
+            failures.append(f"{name}: missing from this run")
+            continue
+        limit = base_ratio * (1.0 + args.tolerance)
+        current = ratios[name]
+        status = "FAIL" if current > limit else "ok"
+        print(f"{status:>4}  {name}: {current:.3f}x reference "
+              f"(baseline {base_ratio:.3f}x, limit {limit:.3f}x)")
+        if current > limit:
+            failures.append(
+                f"{name}: {current:.3f}x vs baseline {base_ratio:.3f}x "
+                f"(+{(current / base_ratio - 1) * 100:.0f}%)"
+            )
+    for name in sorted(set(ratios) - set(baseline["ratios"])):
+        print(f" new  {name}: {ratios[name]:.3f}x reference "
+              "(not in baseline; refresh with --update)")
+    if failures:
+        print(f"\nperf regression ({len(failures)}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nperf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,13 +5,23 @@ substrate itself, which determines how close to the paper's radix-64 /
 long-window configuration a given machine can run.  pytest-benchmark's
 statistics across rounds make regressions in the hot per-cycle loops
 visible.
+
+The active-set tests compare the engine's two schedules: active-set
+(idle routers parked, known-empty input ports skipped) against the
+exhaustive reference (everything scanned every cycle).  Both must
+produce byte-identical results; the active-set schedule must be at
+least 1.5x faster on the low-load configurations where parking pays.
 """
+
+import time
 
 import pytest
 
 from common import BASE_CONFIG
 
+from repro.core.config import RouterConfig
 from repro.harness.experiment import SwitchSimulation
+from repro.network.netsim import ClosNetworkSimulation, NetworkConfig
 from repro.routers.baseline import BaselineRouter
 from repro.routers.buffered import BufferedCrossbarRouter
 from repro.routers.distributed import DistributedRouter
@@ -44,3 +54,82 @@ def test_perf_router_step(benchmark, name):
     delivered = benchmark.pedantic(run, rounds=3, iterations=1)
     # Sanity: the simulated router actually moved traffic.
     assert delivered > 0
+
+
+# ----------------------------------------------------------------------
+# Active-set scheduling speedup (and its results-identical contract)
+# ----------------------------------------------------------------------
+
+SPEEDUP_FLOOR = 1.5
+ROUNDS = 3
+
+
+def _best_of(rounds, fn):
+    """Minimum wall time over ``rounds`` runs (noise-robust ratio)."""
+    times = []
+    checksum = None
+    for _ in range(rounds):
+        start = time.perf_counter()  # lint: disable=R002
+        value = fn()
+        times.append(time.perf_counter() - start)  # lint: disable=R002
+        if checksum is None:
+            checksum = value
+        else:
+            assert value == checksum, "run is not deterministic"
+    return min(times), checksum
+
+
+def test_perf_active_set_radix64_low_load(benchmark):
+    """Radix-64 switch at low load: parking must pay >= 1.5x."""
+    def run(active_set):
+        sim = SwitchSimulation(
+            HierarchicalCrossbarRouter(RouterConfig(radix=64)),
+            load=0.005, active_set=active_set,
+        )
+        for _ in range(2000):
+            sim.step()
+        return sim.router.stats.flits_ejected
+
+    exhaustive, ref = _best_of(ROUNDS, lambda: run(False))
+
+    def timed_active():
+        return run(True)
+
+    delivered = benchmark.pedantic(timed_active, rounds=ROUNDS,
+                                   iterations=1)
+    active, _ = _best_of(ROUNDS, timed_active)
+    assert delivered == ref, "active-set changed the simulation"
+    assert delivered > 0
+    speedup = exhaustive / active
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"active-set speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x "
+        f"(exhaustive {exhaustive:.3f}s, active {active:.3f}s)"
+    )
+
+
+def test_perf_active_set_clos_radix16(benchmark):
+    """2-level radix-16 Clos: parked stages must pay >= 1.5x."""
+    def run(active_set):
+        sim = ClosNetworkSimulation(
+            NetworkConfig(radix=16, levels=2), load=0.02,
+            active_set=active_set,
+        )
+        for _ in range(1500):
+            sim.step()
+        resident = sum(r.occupancy() for r in sim.routers.values())
+        return (len(sim._inflight), resident)
+
+    exhaustive, ref = _best_of(ROUNDS, lambda: run(False))
+
+    def timed_active():
+        return run(True)
+
+    checksum = benchmark.pedantic(timed_active, rounds=ROUNDS,
+                                  iterations=1)
+    active, _ = _best_of(ROUNDS, timed_active)
+    assert checksum == ref, "active-set changed the simulation"
+    speedup = exhaustive / active
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"active-set speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x "
+        f"(exhaustive {exhaustive:.3f}s, active {active:.3f}s)"
+    )

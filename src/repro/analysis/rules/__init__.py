@@ -14,6 +14,9 @@ R003  no-config-mutation          Frozen ``RouterConfig`` objects are
 R004  no-mutable-default          No mutable default arguments
 R005  router-subclass-contract    ``Router`` subclasses implement the
                                   step hook and chain ``__init__``
+R006  compute-phase-purity        ``Component.compute`` only stages
+                                  intents (``self._staged*``); all
+                                  mutation happens in ``commit``
 ===== ==========================  ====================================
 """
 
@@ -24,6 +27,7 @@ from typing import List
 from ..lint import LintRule
 from .config_rules import ConfigMutationRule, MutableDefaultRule
 from .determinism import DirectRandomRule, NondeterminismRule
+from .engine_rules import ComputePhasePurityRule
 from .structure import RouterSubclassRule
 
 
@@ -35,6 +39,7 @@ def all_rules() -> List[LintRule]:
         ConfigMutationRule(),
         MutableDefaultRule(),
         RouterSubclassRule(),
+        ComputePhasePurityRule(),
     ]
 
 
@@ -45,4 +50,5 @@ __all__ = [
     "ConfigMutationRule",
     "MutableDefaultRule",
     "RouterSubclassRule",
+    "ComputePhasePurityRule",
 ]

@@ -1,0 +1,118 @@
+"""Engine rule R006: the two-phase ``compute`` contract.
+
+The :class:`repro.engine.Component` protocol splits each cycle into a
+read phase and a write phase: ``compute(cycle)`` inspects state and
+*stages* intents, ``commit(cycle)`` applies them.  The split is what
+makes the scheduler free to evaluate components in any order — but only
+if ``compute`` really is write-free.  A ``self.foo = ...`` buried in a
+compute method reintroduces evaluation-order coupling that no test at
+a fixed component count will catch.
+
+R006 enforces the contract syntactically: in any class that defines
+*both* ``compute`` and ``commit``, assignments to ``self.*`` inside
+``compute`` are flagged unless the attribute is the component's own
+``cycle`` stamp or follows the ``_staged*`` naming convention for
+staged intents.  Use a ``# lint: disable=R006`` pragma for the rare
+deliberate exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..lint import FileContext, Finding, LintRule
+
+#: Attribute prefix marking staged-intent storage (writable in compute).
+_STAGED_PREFIX = "_staged"
+
+
+def _self_attr_name(node: ast.expr) -> Optional[str]:
+    """Attribute name if ``node`` is a write target rooted at
+    ``self.<attr>`` (through any subscript chain), else ``None``."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _flatten_targets(target: ast.expr) -> List[ast.expr]:
+    """Expand tuple/list unpacking targets into leaf targets."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        leaves: List[ast.expr] = []
+        for elt in target.elts:
+            leaves.extend(_flatten_targets(elt))
+        return leaves
+    if isinstance(target, ast.Starred):
+        return _flatten_targets(target.value)
+    return [target]
+
+
+class ComputePhasePurityRule(LintRule):
+    """R006: ``compute`` stages intents; it never mutates committed state."""
+
+    code = "R006"
+    name = "compute-phase-purity"
+    description = (
+        "Component.compute must not assign committed state; stage "
+        "intents in _staged* attributes and apply them in commit"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            # Only classes speaking the two-phase protocol are bound by
+            # it; a lone `compute` helper elsewhere is not a Component.
+            if "commit" not in methods:
+                continue
+            compute = next(
+                (
+                    stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "compute"
+                ),
+                None,
+            )
+            if compute is None:
+                continue
+            yield from self._check_compute(node, compute, ctx)
+
+    def _check_compute(
+        self, cls: ast.ClassDef, compute: ast.FunctionDef, ctx: FileContext
+    ) -> Iterator[Finding]:
+        for stmt in ast.walk(compute):
+            if isinstance(stmt, ast.Assign):
+                raw_targets = stmt.targets
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                raw_targets = [stmt.target]
+            else:
+                continue
+            for raw in raw_targets:
+                for target in _flatten_targets(raw):
+                    name = _self_attr_name(target)
+                    if name is None:
+                        continue
+                    if name == "cycle" or name.startswith(_STAGED_PREFIX):
+                        continue
+                    yield self.finding(
+                        ctx, stmt,
+                        f"`{cls.name}.compute` writes `self.{name}`; the "
+                        "compute phase only reads state and stages "
+                        "intents (`self._staged*`) — apply mutations in "
+                        "`commit`",
+                    )
+
+
+__all__ = ["ComputePhasePurityRule"]

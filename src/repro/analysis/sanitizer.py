@@ -1,11 +1,19 @@
 """Runtime simulation sanitizer: per-cycle conservation checking.
 
-``SimSanitizer`` wraps any :class:`~repro.routers.base.Router` and, in
-addition to the stream-level contracts checked by
+``SimSanitizer`` attaches to any :class:`~repro.routers.base.Router`
+through its :class:`~repro.engine.hooks.EngineHooks` bus — flit
+accept/eject events drive the stream-level contracts checked by
 :class:`~repro.harness.validation.CheckedRouter` (conservation by flit
 identity, per-packet order, output-VC discipline, output bandwidth),
-verifies *structural* invariants against the router's internal state
-after every cycle:
+and the ``cycle_end`` event triggers *structural* invariant checks
+against the router's internal state after every cycle.  (The class
+still presents the familiar router-wrapper facade, but its ``accept``
+/ ``step`` / ``drain_ejected`` are plain delegates: all checking rides
+on the hook events, so it works identically whether the router is
+stepped standalone or driven — possibly parked — by a
+:class:`~repro.engine.scheduler.Scheduler`.)
+
+Structural invariants:
 
 * **flit conservation** — flits accepted equal flits ejected plus flits
   resident in buffers and pipelines (exact for every organization
@@ -33,7 +41,8 @@ every N cycles (stream-level checks always run).  See
 ``benchmarks/test_perf_sanitizer.py`` for the measured overhead.
 
 ``NetworkSanitizer`` applies the buffer-bound and link-credit
-conservation checks to a whole :class:`~repro.network.netsim.NetworkSimulation`
+conservation checks to a whole :class:`~repro.network.netsim.NetworkSimulation`;
+it subscribes to the simulation's scheduler-level ``cycle_end`` hook
 (enable with ``NetworkSimulation(..., sanitize=True)``).
 """
 
@@ -55,7 +64,7 @@ def _bucket(counts: Dict, key) -> None:
 
 
 class SimSanitizer(CheckedRouter):
-    """Invariant-checking proxy with per-cycle structural verification."""
+    """Hook-attached invariant checker with a router-wrapper facade."""
 
     def __init__(self, inner: Router, check_interval: int = 1) -> None:
         if check_interval < 1:
@@ -66,6 +75,12 @@ class SimSanitizer(CheckedRouter):
         self.check_interval = check_interval
         self._since_check = 0
         self.checks_run = 0
+        # All interception happens on the router's event bus: stream
+        # checks on flit movement, structural checks on cycle end.  The
+        # scheduler fires cycle_end even for parked routers, so the
+        # check cadence is unchanged by active-set scheduling.
+        inner.hooks.on_flit_move(self._on_flit_move)
+        inner.hooks.on_cycle_end(self._on_cycle_end)
         # Packet id -> number of accepted flits not yet delivered,
         # backing the stale-ownership check.
         self._live_packets: Dict[int, int] = {}
@@ -99,11 +114,32 @@ class SimSanitizer(CheckedRouter):
             self._entry_by_key = {e[0]: e for e in self._credit_probes[1]}
             self._entry_by_cid = {e[1]: e for e in self._credit_probes[1]}
 
-    # -- checked operations --------------------------------------------
+    # -- hook handlers -------------------------------------------------
+
+    def _on_flit_move(self, kind: str, flit, port: int, cycle: int) -> None:
+        if kind == "accept":
+            self.record_accept(flit)
+            _bucket(self._live_packets, flit.packet_id)
+        elif kind == "eject":
+            self._check_ejection(flit, cycle)
+
+    def _on_cycle_end(self, cycle: int) -> None:
+        self._since_check += 1
+        if self._since_check >= self.check_interval:
+            self._since_check = 0
+            self.check_now()
+
+    # -- delegated operations ------------------------------------------
+    # The facade forwards untouched; the hooks above do the checking.
 
     def accept(self, port: int, flit) -> None:
-        super().accept(port, flit)
-        _bucket(self._live_packets, flit.packet_id)
+        self.inner.accept(port, flit)
+
+    def step(self) -> None:
+        self.inner.step()
+
+    def drain_ejected(self):
+        return self.inner.drain_ejected()
 
     def _check_ejection(self, flit, cycle: int) -> None:
         super()._check_ejection(flit, cycle)
@@ -112,13 +148,6 @@ class SimSanitizer(CheckedRouter):
             self._live_packets.pop(flit.packet_id, None)
         else:
             self._live_packets[flit.packet_id] = remaining
-
-    def step(self) -> None:
-        self.inner.step()
-        self._since_check += 1
-        if self._since_check >= self.check_interval:
-            self._since_check = 0
-            self.check_now()
 
     def assert_drained(self) -> None:
         super().assert_drained()
@@ -408,7 +437,9 @@ class NetworkSanitizer:
     counters, the downstream input-buffer occupancy, the flits in
     flight on the channel, and the credits in flight on the return path
     always sum to the buffer capacity — and that no input buffer ever
-    exceeds its depth.  Constructed by
+    exceeds its depth.  Subscribes to the simulation's scheduler-level
+    ``cycle_end`` hook, so checks run once per simulated cycle without
+    the simulation loop knowing about the sanitizer.  Constructed by
     ``NetworkSimulation(..., sanitize=True)``.
     """
 
@@ -421,6 +452,9 @@ class NetworkSanitizer:
         self.check_interval = check_interval
         self._since_check = 0
         self.checks_run = 0
+        hooks = getattr(sim, "hooks", None)
+        if hooks is not None:
+            hooks.on_cycle_end(self.check)
         # (name, out port, link, downstream router, downstream port)
         # for every credited (router-to-router) link.
         self._links: List[Tuple[str, int, object, object, int]] = []

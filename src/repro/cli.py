@@ -9,11 +9,12 @@ Gives the library's main experiments a shell entry point:
 * ``area`` — storage/area comparison between organizations;
 * ``run`` — a single measured run, optionally under the runtime
   sanitizer (``--sanitize``);
-* ``lint`` — the repository's AST lint pass (rules R001-R005).
+* ``lint`` — the repository's AST lint pass (rules R001-R006).
 
 Examples::
 
     python -m repro sweep --arch hierarchical --radix 32 --plot
+    python -m repro sweep --arch voq --radix 64 --jobs 4
     python -m repro saturate --arch all --pattern bursty
     python -m repro radix --bandwidth 20e12 --delay 5e-9 --nodes 2048 --packet 256
     python -m repro network --load 0.5
@@ -25,6 +26,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Callable, Dict, Optional, Sequence
 
@@ -129,13 +131,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     cls = ARCHITECTURES[args.arch]
     loads = [float(x) for x in args.loads.split(",")]
-    sweep = run_load_sweep(
-        cls, config, loads, label=args.arch,
-        packet_size=args.packet_size,
-        pattern_factory=lambda c: _make_pattern(args.pattern, c),
-        injection=args.injection,
-        settings=_settings(args),
-    )
+    # partial() of the module-level _make_pattern stays picklable, so
+    # the same factory works for both the serial and the process-pool
+    # path (lambdas would break --jobs under the spawn start method).
+    pattern_factory = functools.partial(_make_pattern, args.pattern)
+    if args.jobs > 1:
+        from .harness.parallel import run_load_sweep_parallel
+
+        sweep = run_load_sweep_parallel(
+            cls, config, loads, label=args.arch,
+            packet_size=args.packet_size,
+            pattern_factory=pattern_factory,
+            injection=args.injection,
+            settings=_settings(args),
+            processes=args.jobs,
+        )
+    else:
+        sweep = run_load_sweep(
+            cls, config, loads, label=args.arch,
+            packet_size=args.packet_size,
+            pattern_factory=pattern_factory,
+            injection=args.injection,
+            settings=_settings(args),
+        )
     print(format_sweeps(
         [sweep],
         title=f"{args.arch} @ radix {config.radix}, pattern {args.pattern}",
@@ -313,6 +331,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--loads", default="0.1,0.3,0.5,0.7,0.9")
     sweep.add_argument("--plot", action="store_true",
                        help="also render an ASCII plot")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="evaluate load points in N parallel "
+                            "processes (default: 1, serial; results "
+                            "are identical either way)")
     _add_router_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
@@ -330,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_router_args(run)
     run.set_defaults(func=cmd_run)
 
-    lint = subs.add_parser("lint", help="AST lint pass (R001-R005)")
+    lint = subs.add_parser("lint", help="AST lint pass (R001-R006)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.set_defaults(func=cmd_lint)

@@ -1,0 +1,28 @@
+"""Shared two-phase simulation kernel.
+
+Both simulation stacks — the standalone switch organizations
+(:mod:`repro.routers`) and the multi-router Clos network
+(:mod:`repro.network`) — run on this kernel instead of hand-rolled
+cycle loops:
+
+``Component``
+    The unit of simulation.  Each cycle splits into an explicit
+    ``compute`` phase (read committed state, stage intents) and a
+    ``commit`` phase (apply staged intents, advance).
+``Scheduler``
+    Drives a set of components with *active-set scheduling*: components
+    that report themselves idle via :meth:`Component.busy` are parked
+    and skipped until an external event (flit or credit arrival) wakes
+    them.
+``EngineHooks``
+    A per-component event bus (cycle start/end, flit movement, switch
+    grants, credit returns) that instrumentation — sanitizers, metrics,
+    tracing — attaches through instead of wrapping or subclassing the
+    simulated objects.
+"""
+
+from .component import AlwaysActive, Component
+from .hooks import EngineHooks
+from .scheduler import Scheduler
+
+__all__ = ["AlwaysActive", "Component", "EngineHooks", "Scheduler"]

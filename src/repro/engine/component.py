@@ -1,0 +1,108 @@
+"""The unit of simulation: a two-phase component.
+
+A cycle splits into two explicit phases:
+
+``compute(cycle)``
+    Read committed state and *stage* intents.  Implementations may only
+    write ``self.cycle`` and staged-intent attributes (conventionally
+    prefixed ``_staged``); everything else is committed state and must
+    not change.  Lint rule R006 enforces this statically.
+``commit(cycle)``
+    Apply the staged intents, run the component's internal datapath for
+    the cycle, and advance ``self.cycle`` to ``cycle + 1``.
+
+The split makes the simulation order-insensitive across components:
+when a :class:`~repro.engine.scheduler.Scheduler` runs compute for
+every live component before any commit, no component can observe
+another's same-cycle output a phase early.
+"""
+
+from __future__ import annotations
+
+from .hooks import EngineHooks
+
+
+class AlwaysActive:
+    """Stand-in for per-input activity flags in exhaustive mode.
+
+    Reads as True for every index and swallows writes, so a component
+    switched to the reference schedule keeps its flag-maintenance code
+    unchanged while its scan loops degrade to checking every input —
+    the pre-active-set behaviour.
+    """
+
+    __slots__ = ()
+
+    def __getitem__(self, index: int) -> bool:
+        return True
+
+    def __setitem__(self, index: int, value: bool) -> None:
+        return None
+
+
+class Component:
+    """Base class for objects driven by the engine scheduler.
+
+    Subclasses own a ``hooks`` bus, a ``cycle`` counter, and implement
+    the two phases.  ``busy()`` is the parking predicate for active-set
+    scheduling; ``on_wake()`` re-synchronizes a parked component's
+    local clock when an external event re-activates it.
+    """
+
+    def __init__(self) -> None:
+        self.cycle = 0
+        self.hooks = EngineHooks()
+
+    def compute(self, cycle: int) -> None:
+        """Phase 1: read committed state, stage intents."""
+        raise NotImplementedError
+
+    def commit(self, cycle: int) -> None:
+        """Phase 2: apply staged intents and advance to ``cycle + 1``."""
+        raise NotImplementedError
+
+    def busy(self) -> bool:
+        """True while the component has work that needs cycles.
+
+        A component returning False may be parked by the scheduler: it
+        must be a no-op to skip its phases until an external arrival
+        (delivered via :meth:`on_wake`) makes it busy again.
+        """
+        return True
+
+    def set_exhaustive(self) -> None:
+        """Switch to the reference schedule: scan everything, always.
+
+        Called by a ``Scheduler(active_set=False)`` at registration.
+        Components that keep internal activity tracking (per-input
+        flags) disable it here so "active-set off" really measures the
+        exhaustive baseline.  Results must be identical either way —
+        only the amount of provably-idle work differs.
+        """
+
+    def on_wake(self, cycle: int) -> None:
+        """Re-activation callback: fast-forward the local clock.
+
+        Called by the scheduler when an external event (flit or credit
+        arrival) targets a parked component, *before* that event is
+        applied, so state stamped with ``self.cycle`` (e.g. flit
+        arrival times) uses the current cycle rather than the cycle the
+        component was parked on.
+        """
+        self.cycle = cycle
+
+    def step(self) -> None:
+        """Run one full cycle standalone (compute + commit + hooks).
+
+        Equivalent to what a one-component scheduler would do; kept so
+        components remain independently steppable in tests and small
+        experiments.
+        """
+        now = self.cycle
+        hooks = self.hooks
+        if hooks.cycle_start:
+            hooks.emit_cycle_start(now)
+        self.compute(now)
+        self.commit(now)
+        if hooks.cycle_end:
+            hooks.emit_cycle_end(self.cycle)

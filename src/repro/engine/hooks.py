@@ -1,0 +1,86 @@
+"""Event bus for engine instrumentation.
+
+Hot-path design: each event kind is a plain list of callbacks exposed
+as a public attribute, so emitters guard with a cheap truthiness test
+(``if hooks.flit_move:``) and pay nothing when nobody is listening.
+Callbacks run synchronously in registration order; a callback raising
+(e.g. a sanitizer surfacing an :class:`InvariantViolation`) propagates
+to whoever advanced the simulation, exactly like the old wrapper-based
+checks did.
+
+Event signatures:
+
+======================  ================================================
+``cycle_start(cycle)``  fired before a component's compute phase
+``cycle_end(cycle)``    fired after commit; ``cycle`` is the
+                        *post-increment* value (state is "as of the end
+                        of cycle ``cycle - 1``")
+``flit_move(kind, flit, port, cycle)``
+                        flit crossed the component boundary; ``kind``
+                        is ``"accept"`` (entered on input ``port``) or
+                        ``"eject"`` (left toward output ``port``)
+``grant(flit, out_port, cycle)``
+                        switch allocation granted; the flit starts its
+                        crossbar traversal this cycle
+``credit(port, vc, cycle)``
+                        a credit matured and was returned upstream for
+                        ``(port, vc)``
+======================  ================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+class EngineHooks:
+    """Callback registry for one emitter (a router or a scheduler)."""
+
+    __slots__ = ("cycle_start", "cycle_end", "flit_move", "grant", "credit")
+
+    def __init__(self) -> None:
+        self.cycle_start: List[Callable] = []
+        self.cycle_end: List[Callable] = []
+        self.flit_move: List[Callable] = []
+        self.grant: List[Callable] = []
+        self.credit: List[Callable] = []
+
+    def on_cycle_start(self, fn: Callable) -> Callable:
+        self.cycle_start.append(fn)
+        return fn
+
+    def on_cycle_end(self, fn: Callable) -> Callable:
+        self.cycle_end.append(fn)
+        return fn
+
+    def on_flit_move(self, fn: Callable) -> Callable:
+        self.flit_move.append(fn)
+        return fn
+
+    def on_grant(self, fn: Callable) -> Callable:
+        self.grant.append(fn)
+        return fn
+
+    def on_credit(self, fn: Callable) -> Callable:
+        self.credit.append(fn)
+        return fn
+
+    def emit_cycle_start(self, cycle: int) -> None:
+        for fn in self.cycle_start:
+            fn(cycle)
+
+    def emit_cycle_end(self, cycle: int) -> None:
+        for fn in self.cycle_end:
+            fn(cycle)
+
+    def emit_flit_move(self, kind: str, flit, port: int, cycle: int) -> None:
+        for fn in self.flit_move:
+            fn(kind, flit, port, cycle)
+
+    def emit_grant(self, flit, out_port: int, cycle: int) -> None:
+        for fn in self.grant:
+            fn(flit, out_port, cycle)
+
+    def emit_credit(self, port: int, vc: int, cycle: int) -> None:
+        for fn in self.credit:
+            fn(port, vc, cycle)

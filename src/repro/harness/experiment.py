@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..core.config import RouterConfig
 from ..core.errors import invariant
+from ..engine import Scheduler
 from ..routers.base import Router
 from ..traffic.injection import Bernoulli, InjectionProcess, MarkovOnOff
 from ..traffic.patterns import TrafficPattern, UniformRandom
@@ -65,6 +66,7 @@ class SwitchSimulation:
         seed: Optional[int] = None,
         record_delivered: bool = False,
         sanitize: bool = False,
+        active_set: bool = True,
     ) -> None:
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -75,6 +77,15 @@ class SwitchSimulation:
             if not isinstance(router, SimSanitizer):
                 router = SimSanitizer(router)
         self.router = router
+        # The engine drives the raw Router; checking wrappers
+        # (SimSanitizer, CheckedRouter) expose it as ``.inner`` and
+        # observe it through its hooks, not by intercepting step().
+        self._engine: Router = getattr(router, "inner", router)
+        #: The router's event bus (metrics/tracing attach here).
+        self.hooks = self._engine.hooks
+        self._sched = Scheduler(
+            [self._engine], hooks=self._engine.hooks, active_set=active_set
+        )
         self.config = router.config
         self.load = load
         self.packet_size = packet_size
@@ -125,7 +136,7 @@ class SwitchSimulation:
                     self._labeled_outstanding += 1
                     self._labeled_total += 1
         self._inject(now)
-        self.router.step()
+        self._sched.run_cycle(now)
         for flit, eject_cycle in self.router.drain_ejected():
             if self.record_delivered:
                 self.delivered.append((flit, eject_cycle))
@@ -163,6 +174,9 @@ class SwitchSimulation:
                 continue
             flit.vc = vc
             src.pop()
+            # Wake a parked router *before* accept so the flit's
+            # injection timestamp uses the current cycle.
+            self._sched.wake(self._engine, now)
             self.router.accept(i, flit)
             self._next_inject[i] = now + fc
             if flit.is_tail:
@@ -221,6 +235,12 @@ class SwitchSimulation:
         result.extra["source_backlog"] = float(
             sum(s.backlog() for s in self.sources)
         )
+        # Ad-hoc RouterStats.bump() counters ride along under a
+        # ``stats.`` prefix so they survive into reports and sweeps
+        # instead of being silently dropped with the router instance.
+        stats_extra = self.router.stats.extra
+        for name in sorted(stats_extra):
+            result.extra[f"stats.{name}"] = float(stats_extra[name])
         return result
 
 

@@ -11,6 +11,14 @@ over time.  ``MetricsCollector`` attaches to a
 * per-output delivered-flit counts (channel load balance);
 * per-input source backlog samples (who is starved/congested);
 * total router occupancy samples (aggregate buffer pressure).
+
+There are two ways to feed it.  The original pull style calls
+:meth:`MetricsCollector.observe_cycle` after each ``sim.step()`` and
+needs ``record_delivered=True``.  The push style,
+:meth:`MetricsCollector.attach`, subscribes to the simulation's
+:class:`~repro.engine.EngineHooks` bus — deliveries arrive through
+``flit_move`` eject events and sampling rides ``cycle_end``, so
+nothing is buffered and no per-cycle call is needed.
 """
 
 from __future__ import annotations
@@ -91,6 +99,39 @@ class MetricsCollector:
         self.occupancy_samples: List[int] = []
         self._cycles = 0
         self._seen = 0
+        self._sim = None  # set by attach()
+
+    # ------------------------------------------------------------------
+    # Push-style feeding: subscribe to a simulation's engine hooks.
+
+    def attach(self, sim) -> "MetricsCollector":
+        """Subscribe to ``sim.hooks`` so metrics accumulate as the
+        simulation runs.
+
+        Works with any simulation exposing an
+        :class:`~repro.engine.EngineHooks` bus plus ``sources`` and
+        ``router`` attributes (``SwitchSimulation`` does).  Unlike
+        :meth:`observe_cycle`, no ``record_delivered=True`` buffer is
+        required.  Returns ``self`` for chaining.
+        """
+        sim.hooks.on_flit_move(self._on_flit_move)
+        self._sim = sim
+        sim.hooks.on_cycle_end(self._on_cycle_end)
+        return self
+
+    def _on_flit_move(self, kind: str, flit: Flit, port: int,
+                      cycle: int) -> None:
+        if kind == "eject":
+            self.observe_delivery(flit, cycle)
+
+    def _on_cycle_end(self, cycle: int) -> None:
+        sim = self._sim
+        self._cycles += 1
+        if self._cycles % self.sample_every == 0:
+            self.backlog_samples.append(
+                sum(s.backlog() for s in sim.sources)
+            )
+            self.occupancy_samples.append(sim.router.occupancy())
 
     # ------------------------------------------------------------------
 

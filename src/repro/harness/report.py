@@ -76,6 +76,29 @@ def format_sweeps(
     return format_table(headers, rows, title=title)
 
 
+def format_extras(
+    sweep: SweepResult, title: Optional[str] = None
+) -> str:
+    """Per-load table of every ``RunResult.extra`` counter in a sweep.
+
+    This includes the harness's own bookkeeping (``undelivered``,
+    ``source_backlog``) and any ad-hoc ``stats.*`` counters a router
+    recorded via :meth:`~repro.routers.base.RouterStats.bump` — the
+    harness folds those into each result so they survive aggregation
+    instead of dying with the router instance.  Counters absent at a
+    load point render as ``-``.
+    """
+    names = sorted({name for r in sweep.results for name in r.extra})
+    headers = ["counter"] + [
+        f"{r.offered_load:.2f}" for r in sweep.results
+    ]
+    rows: List[Sequence[object]] = [
+        [name] + [r.extra.get(name, float("nan")) for r in sweep.results]
+        for name in names
+    ]
+    return format_table(headers, rows, title=title)
+
+
 def format_saturation(
     sweeps: Sequence[SweepResult], title: Optional[str] = None
 ) -> str:

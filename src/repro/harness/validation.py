@@ -70,12 +70,21 @@ class CheckedRouter:
 
     # -- checked operations --------------------------------------------
 
-    def accept(self, port: int, flit: Flit) -> None:
+    def record_accept(self, flit: Flit) -> None:
+        """Register an accepted flit (without forwarding it anywhere).
+
+        Split out from :meth:`accept` so hook-based checkers (see
+        :class:`repro.analysis.sanitizer.SimSanitizer`) can record from
+        a ``flit_move`` event instead of intercepting the call.
+        """
         if id(flit) in self._accepted:
             raise InvariantViolation(
                 f"flit {flit.packet_id}:{flit.flit_index} accepted twice"
             )
         self._accepted[id(flit)] = flit.dest
+
+    def accept(self, port: int, flit: Flit) -> None:
+        self.record_accept(flit)
         self.inner.accept(port, flit)
 
     def step(self) -> None:

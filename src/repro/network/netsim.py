@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.errors import invariant
 from ..core.flit import Flit, make_packet
 from ..core.rng import derive_rng
+from ..engine import EngineHooks, Scheduler
 from ..harness.stats import LatencySample, RunResult, summarize
 from .router import NetworkRouter, NetworkRouterConfig, OutputLink, pipeline_depth_for_radix
 from .topology import FoldedClos, SwitchId, Topology
@@ -66,6 +67,7 @@ class NetworkSimulation:
         topology: Optional[Topology] = None,
         host_pattern: Optional[object] = None,
         sanitize: bool = False,
+        active_set: bool = True,
     ) -> None:
         """Args:
             config: Router/channel parameters (``radix``/``levels`` are
@@ -79,7 +81,11 @@ class NetworkSimulation:
                 omitted.
             sanitize: Run a :class:`~repro.analysis.NetworkSanitizer`
                 check (link credit conservation, buffer bounds) after
-                every cycle.
+                every cycle; it attaches through the engine hooks.
+            active_set: Park idle routers (no buffered flits, no
+                pending credits) and skip them until a flit arrival
+                wakes them.  Byte-identical to stepping everything;
+                False forces the exhaustive reference schedule.
         """
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -89,6 +95,13 @@ class NetworkSimulation:
         self._host_pattern = host_pattern
         self.cycle = 0
         self._build_network()
+        #: Simulation-level event bus; ``cycle_start``/``cycle_end``
+        #: span the whole router set.  Instrumentation (sanitizer,
+        #: metrics, tracing) attaches here.
+        self.hooks = EngineHooks()
+        self._scheduler = Scheduler(
+            self.routers.values(), hooks=self.hooks, active_set=active_set
+        )
         n = self.topology.num_hosts
         cap = 1.0 / config.flit_cycles
         self._packet_rate = load * cap / config.packet_size
@@ -185,17 +198,18 @@ class NetworkSimulation:
         self._deliver_arrivals(now)
         self._generate(now)
         self._inject(now)
-        for router in self.routers.values():
-            router.step()
+        # Two-phase engine cycle over all active routers; instrumentation
+        # (including the sanitizer's per-cycle check) fires from the
+        # scheduler's cycle_end hook.
+        self._scheduler.run_cycle(now)
         self.cycle += 1
-        if self._sanitizer is not None:
-            self._sanitizer.check(self.cycle)
 
     def _deliver_arrivals(self, now: int) -> None:
         while self._inflight and self._inflight[0][0] <= now:
             _, _, flit, target = heapq.heappop(self._inflight)
             if isinstance(target, tuple):
                 router, port = target
+                self._scheduler.wake(router, now)
                 router.accept(port, flit)
             else:
                 # Host ejection.
@@ -251,6 +265,7 @@ class NetworkSimulation:
                 continue
             flit.vc = vc
             self._source_q[host].pop(0)
+            self._scheduler.wake(router, now)
             router.accept(attach.port, flit)
             self._next_inject[host] = now + self.config.flit_cycles
             if flit.is_tail:
@@ -307,9 +322,13 @@ class ClosNetworkSimulation(NetworkSimulation):
     """Figure 19's configuration: a folded Clos built from ``config``."""
 
     def __init__(
-        self, config: NetworkConfig, load: float, sanitize: bool = False
+        self,
+        config: NetworkConfig,
+        load: float,
+        sanitize: bool = False,
+        active_set: bool = True,
     ) -> None:
-        super().__init__(config, load, sanitize=sanitize)
+        super().__init__(config, load, sanitize=sanitize, active_set=active_set)
 
 
 def run_network_sweep(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..core.arbiter import RoundRobinArbiter
 from ..core.errors import invariant
@@ -38,6 +38,8 @@ from ..core.credit import CreditCounter
 from ..core.flit import Flit
 from ..core.pipeline import BusyTracker, DelayLine
 from ..core.vcstate import OutputVcState
+from ..engine.component import AlwaysActive, Component
+from ..engine.hooks import EngineHooks
 
 
 @dataclass(frozen=True)
@@ -105,13 +107,14 @@ class OutputLink:
             self.credits[vc].restore()
 
 
-class NetworkRouter:
+class NetworkRouter(Component):
     """Reduced-detail input-queued VC router for network simulation."""
 
     def __init__(self, config: NetworkRouterConfig, name: str = "") -> None:
         self.config = config
         self.name = name
         self.cycle = 0
+        self.hooks = EngineHooks()
         n, v = config.num_ports, config.num_vcs
         self.inputs = [VcBufferBank(v, config.buffer_depth) for _ in range(n)]
         self.links: List[Optional[OutputLink]] = [None] * n
@@ -130,6 +133,14 @@ class NetworkRouter:
         self._vc_release: DelayLine[Tuple[int, int, int]] = DelayLine(
             config.flit_cycles
         )
+        # Per-input activity flags (see routers.base.Router): allocation
+        # skips inputs whose banks are known-empty.
+        self._in_active: Union[List[bool], AlwaysActive] = [False] * n
+        # Buffered flits, by conservation (accepts minus transmits):
+        # O(1) where occupancy() scans every bank.
+        self._resident = 0
+        self._staged_credits: tuple = ()
+        self._staged_releases: tuple = ()
 
     # ------------------------------------------------------------------
 
@@ -141,6 +152,10 @@ class NetworkRouter:
 
     def accept(self, port: int, flit: Flit) -> None:
         self.inputs[port][flit.vc].push(flit)
+        self._in_active[port] = True
+        self._resident += 1
+        if self.hooks.flit_move:
+            self.hooks.emit_flit_move("accept", flit, port, self.cycle)
 
     def input_space(self, port: int, vc: int) -> int:
         return self.inputs[port][vc].free_slots
@@ -150,23 +165,47 @@ class NetworkRouter:
 
     # ------------------------------------------------------------------
 
-    def step(self) -> None:
-        for sink, vc in self._credit_out.pop_ready(self.cycle):
+    def compute(self, cycle: int) -> None:
+        """Phase 1: collect matured credits and VC releases."""
+        self.cycle = cycle
+        self._staged_credits = self._credit_out.pop_ready(cycle)
+        self._staged_releases = self._vc_release.pop_ready(cycle)
+
+    def commit(self, cycle: int) -> None:
+        """Phase 2: apply credits/releases, then allocate and transmit."""
+        hooks = self.hooks
+        for sink, vc in self._staged_credits:
             sink(vc)
-        for port, vc, pid in self._vc_release.pop_ready(self.cycle):
+            if hooks.credit:
+                hooks.emit_credit(-1, vc, cycle)
+        for port, vc, pid in self._staged_releases:
             link = self.links[port]
             invariant(link is not None, "VC release on a detached output "
-                      "port", cycle=self.cycle, port=port, vc=vc,
+                      "port", cycle=cycle, port=port, vc=vc,
                       check="topology")
             link.vc_state.release(vc, pid)
+        self._staged_credits = ()
+        self._staged_releases = ()
         self._allocate()
-        self.cycle += 1
+        self.cycle = cycle + 1
+
+    def busy(self) -> bool:
+        """Parking predicate: pending flits, credits, or VC releases."""
+        if self._resident:
+            return True
+        return bool(self._credit_out or self._vc_release)
+
+    def set_exhaustive(self) -> None:
+        """Reference schedule: disable the per-input activity flags."""
+        self._in_active = AlwaysActive()
 
     def _allocate(self) -> None:
         now = self.cycle
         n = self.config.num_ports
         requests: dict = {}
         for i in range(n):
+            if not self._in_active[i]:
+                continue
             if not self.input_busy.free(i, now):
                 continue
             cands = [
@@ -229,6 +268,9 @@ class NetworkRouter:
         invariant(popped is flit, "input buffer head changed between "
                   "grant and pop", cycle=self.cycle, port=i, vc=vc,
                   check="buffer-integrity")
+        if not self.inputs[i]:
+            self._in_active[i] = False
+        self._resident -= 1
         fc = self.config.flit_cycles
         self.input_busy.reserve(i, self.cycle, fc)
         self.output_busy.reserve(out, self.cycle, fc)
@@ -241,6 +283,8 @@ class NetworkRouter:
             fc + self.config.pipeline_delay + self.config.channel_latency
         )
         link.deliver(flit, self.cycle + latency)
+        if self.hooks.grant:
+            self.hooks.emit_grant(flit, out, self.cycle)
         if flit.is_tail:
             self._vc_release.push(self.cycle, (out, flit.vc, flit.packet_id))
         # Return a credit upstream for the freed input buffer slot.

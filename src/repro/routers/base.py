@@ -12,6 +12,15 @@ same external contract:
 * flits that complete switch traversal appear in :attr:`Router.ejected`
   as ``(flit, eject_cycle)`` pairs, which the harness drains.
 
+Routers are :class:`repro.engine.Component` objects: a cycle is an
+explicit ``compute`` phase (stage matured pipeline entries; commits
+nothing) followed by a ``commit`` phase (apply the staged ejections and
+VC releases, then run the organization-specific datapath via
+``_advance``).  :meth:`Router.step` composes the two phases for
+standalone use; the harness drives routers through a
+:class:`repro.engine.Scheduler` instead, which parks empty routers
+(see :meth:`Router.busy`).
+
 Timing convention: a grant at cycle ``t`` occupies the granted input
 and output resources for ``config.flit_cycles`` cycles (the paper's
 four-cycle switch traversal) and the flit is ejected at
@@ -24,13 +33,15 @@ the tail flit ... the virtual channel is freed").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.buffers import VcBufferBank
 from ..core.config import RouterConfig
 from ..core.flit import Flit
 from ..core.pipeline import BusyTracker, DelayLine
 from ..core.vcstate import OutputVcState
+from ..engine.component import AlwaysActive, Component
+from ..engine.hooks import EngineHooks
 
 
 @dataclass
@@ -53,12 +64,13 @@ class RouterStats:
         self.extra[name] = self.extra.get(name, 0) + amount
 
 
-class Router:
+class Router(Component):
     """Base class: per-VC input buffers, ejection pipeline, VC ledgers."""
 
     def __init__(self, config: RouterConfig) -> None:
         self.config = config
         self.cycle = 0
+        self.hooks = EngineHooks()
         k, v = config.radix, config.num_vcs
         self.inputs: List[VcBufferBank] = [
             VcBufferBank(v, config.input_buffer_depth) for _ in range(k)
@@ -75,6 +87,17 @@ class Router:
         self._vc_release: DelayLine[Tuple[int, int, int]] = DelayLine(
             config.flit_cycles
         )
+        # Per-input activity flags: True while input bank ``i`` may hold
+        # flits.  Arbitration loops skip inactive inputs; the flag is
+        # set on accept and cleared when the bank drains (see
+        # ``_input_emptied``).  Skipping is behavior-neutral because an
+        # empty bank yields no candidates and the arbiters never advance
+        # their pointers on an empty request set.
+        # Per-input activity flags: scan loops skip inputs that are
+        # provably empty.  Replaced by AlwaysActive in exhaustive mode.
+        self._in_active: Union[List[bool], AlwaysActive] = [False] * k
+        self._staged_ejects: Sequence[Tuple[Flit, int]] = ()
+        self._staged_releases: Sequence[Tuple[int, int, int]] = ()
 
     # ------------------------------------------------------------------
     # External interface
@@ -93,12 +116,51 @@ class Router:
         flit.injected_at = self.cycle
         self.inputs[port][flit.vc].push(flit)
         self.stats.flits_accepted += 1
+        self._in_active[port] = True
+        if self.hooks.flit_move:
+            self.hooks.emit_flit_move("accept", flit, port, self.cycle)
 
-    def step(self) -> None:
-        """Advance one cycle: mature pipelines, then run the datapath."""
-        self._mature()
+    def compute(self, cycle: int) -> None:
+        """Phase 1: collect pipeline entries maturing this cycle."""
+        self.cycle = cycle
+        self._staged_ejects = self._ejecting.pop_ready(cycle)
+        self._staged_releases = self._vc_release.pop_ready(cycle)
+
+    def commit(self, cycle: int) -> None:
+        """Phase 2: apply staged ejections/releases, run the datapath."""
+        hooks = self.hooks
+        for flit, out_port in self._staged_ejects:
+            self.ejected.append((flit, cycle))
+            self.stats.flits_ejected += 1
+            if flit.is_tail:
+                self.stats.packets_ejected += 1
+            if hooks.flit_move:
+                hooks.emit_flit_move("eject", flit, out_port, cycle)
+        for out, vc, pid in self._staged_releases:
+            self.output_vcs[out].release(vc, pid)
+        self._staged_ejects = ()
+        self._staged_releases = ()
         self._advance()
-        self.cycle += 1
+        self.cycle = cycle + 1
+
+    def busy(self) -> bool:
+        """Parking predicate: False only when stepping would be a no-op.
+
+        Resident flits are counted in O(1) by conservation — every
+        flit enters through :meth:`accept` and leaves the datapath
+        when its ejection commits — rather than via the O(buffers)
+        :meth:`occupancy` scan, since this runs every commit.
+        Organizations with extra delayed machinery (credit pipes, ...)
+        extend this.
+        """
+        stats = self.stats
+        if stats.flits_accepted > stats.flits_ejected:
+            return True
+        return bool(self._ejecting or self._vc_release)
+
+    def set_exhaustive(self) -> None:
+        """Reference schedule: disable the per-input activity flags."""
+        self._in_active = AlwaysActive()
 
     def drain_ejected(self) -> List[Tuple[Flit, int]]:
         """Return and clear the flits delivered since the last drain."""
@@ -119,15 +181,10 @@ class Router:
     # Shared mechanics for subclasses
     # ------------------------------------------------------------------
 
-    def _mature(self) -> None:
-        """Deliver flits finishing traversal and release output VCs."""
-        for flit, out_port in self._ejecting.pop_ready(self.cycle):
-            self.ejected.append((flit, self.cycle))
-            self.stats.flits_ejected += 1
-            if flit.is_tail:
-                self.stats.packets_ejected += 1
-        for out, vc, pid in self._vc_release.pop_ready(self.cycle):
-            self.output_vcs[out].release(vc, pid)
+    def _input_emptied(self, port: int) -> None:
+        """Clear the activity flag if input bank ``port`` just drained."""
+        if not self.inputs[port]:
+            self._in_active[port] = False
 
     def _start_traversal(
         self, flit: Flit, out_port: int, start: Optional[int] = None
@@ -149,6 +206,8 @@ class Router:
             self._vc_release.push_at(
                 begin + fc, (out_port, flit.out_vc, flit.packet_id)
             )
+        if self.hooks.grant:
+            self.hooks.emit_grant(flit, out_port, self.cycle)
 
     def _extra_occupancy(self) -> int:
         """Flits held in architecture-specific structures (overridden)."""

@@ -111,6 +111,8 @@ class BufferedCrossbarRouter(Router):
     def _input_stage(self) -> None:
         now = self.cycle
         for i in range(self.config.radix):
+            if not self._in_active[i]:
+                continue
             if not self.input_busy.free(i, now):
                 continue
             sendable = [
@@ -127,6 +129,7 @@ class BufferedCrossbarRouter(Router):
             invariant(popped is flit, "input buffer head changed between "
                       "arbitration and pop", cycle=now, port=i, vc=vc,
                       check="buffer-integrity")
+            self._input_emptied(i)
             self._credits[i][flit.dest][vc].consume()
             self.input_busy.reserve(i, now, self.config.flit_cycles)
             self._to_crosspoint.push(now, (flit, i, flit.dest))
@@ -226,6 +229,8 @@ class BufferedCrossbarRouter(Router):
 
     def _post_credit(self, i: int, j: int, vc: int) -> None:
         counter = self._credits[i][j][vc]
+        if self.hooks.credit:
+            self.hooks.emit_credit(i, vc, self.cycle)
         if self._credit_pipes is not None:
             self._credit_pipes[i].send(self.cycle, counter.restore)
         else:
@@ -246,6 +251,16 @@ class BufferedCrossbarRouter(Router):
                 bus.step(self.cycle)
 
     # ------------------------------------------------------------------
+
+    def busy(self) -> bool:
+        if super().busy():
+            return True
+        # Delayed credit returns must keep the clock running even when
+        # no flit is resident, or the restore callbacks never mature.
+        if self._credit_pipes is not None:
+            return any(pipe.pending() for pipe in self._credit_pipes)
+        buses = self._credit_buses
+        return buses is not None and not all(bus.idle() for bus in buses)
 
     def _extra_occupancy(self) -> int:
         return sum(map(len, self._xp_flat)) + self._in_flight_to_xp

@@ -121,6 +121,8 @@ class DistributedRouter(Router):
         for i in range(self.config.radix):
             if self._pending[i] is not None:
                 continue
+            if not self._in_active[i]:
+                continue
             if self.input_busy.busy_until(i) > horizon:
                 continue
             candidates = [
@@ -310,6 +312,7 @@ class DistributedRouter(Router):
         invariant(popped is flit, "input buffer head changed between "
                   "grant and pop", cycle=self.cycle, port=i, vc=vc,
                   check="buffer-integrity")
+        self._input_emptied(i)
         start = self.cycle + extra_delay
         self.input_busy.extend(i, start + self.config.flit_cycles)
         self._start_traversal(flit, out, start=start)

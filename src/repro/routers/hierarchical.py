@@ -101,6 +101,10 @@ class HierarchicalCrossbarRouter(Router):
             for _ in range(k)
         ]
         self._credit_pipe = DelayedCreditPipe(config.credit_latency)
+        # Flits resident in the subswitch boundary buffers of each
+        # column (mirrors the per-subswitch ``resident`` counters), so
+        # the output stage can skip whole empty columns.
+        self._col_resident = [0] * s
         # Flits crossing the input row bus toward a subswitch input buffer.
         self._to_sub: DelayLine[Tuple[Flit, int, int]] = DelayLine(
             config.flit_cycles
@@ -125,6 +129,8 @@ class HierarchicalCrossbarRouter(Router):
         now = self.cycle
         p = self.config.subswitch_size
         for i in range(self.config.radix):
+            if not self._in_active[i]:
+                continue
             if not self.input_busy.free(i, now):
                 continue
             sendable = [
@@ -142,6 +148,7 @@ class HierarchicalCrossbarRouter(Router):
             invariant(popped is flit, "input buffer head changed between "
                       "arbitration and pop", cycle=now, port=i, vc=vc,
                       check="buffer-integrity")
+            self._input_emptied(i)
             self._in_credits[i][col][vc].consume()
             self.input_busy.reserve(i, now, self.config.flit_cycles)
             self._to_sub.push(now, (flit, i, col))
@@ -164,6 +171,7 @@ class HierarchicalCrossbarRouter(Router):
             sub = self.sub[i // p][col]
             sub.in_bufs[i % p][flit.vc].push(flit)
             sub.resident += 1
+            self._col_resident[col] += 1
             self._in_flight -= 1
         for r in range(self.num_sub):
             for c in range(self.num_sub):
@@ -172,6 +180,7 @@ class HierarchicalCrossbarRouter(Router):
                     for flit, lo in sub.crossing.pop_ready(self.cycle):
                         sub.out_bufs[lo][flit.out_vc].push(flit)
                         sub.resident += 1
+                        self._col_resident[c] += 1
 
     # ------------------------------------------------------------------
     # Stage 2: p×p subswitch traversal with local VC allocation
@@ -248,6 +257,7 @@ class HierarchicalCrossbarRouter(Router):
     ) -> None:
         popped = sub.in_bufs[li][vc].pop()
         sub.resident -= 1
+        self._col_resident[sub.col] -= 1
         invariant(popped is flit, "subswitch input buffer head changed "
                   "before pop", cycle=self.cycle, vc=vc,
                   check="buffer-integrity")
@@ -265,6 +275,8 @@ class HierarchicalCrossbarRouter(Router):
         i = sub.row * self.config.subswitch_size + li
         counter = self._in_credits[i][sub.col][vc]
         self._credit_pipe.send(self.cycle, counter.restore)
+        if self.hooks.credit:
+            self.hooks.emit_credit(i, vc, self.cycle)
 
     # ------------------------------------------------------------------
     # Stage 3: output port pulls from its column's output buffers
@@ -274,6 +286,8 @@ class HierarchicalCrossbarRouter(Router):
         now = self.cycle
         p = self.config.subswitch_size
         for j in range(self.config.radix):
+            if not self._col_resident[j // p]:
+                continue
             if not self.output_busy.free(j, now):
                 continue
             c, lo = j // p, j % p
@@ -330,6 +344,7 @@ class HierarchicalCrossbarRouter(Router):
     ) -> None:
         popped = self.sub[r][c].out_bufs[lo][vc].pop()
         self.sub[r][c].resident -= 1
+        self._col_resident[c] -= 1
         invariant(popped is flit, "subswitch output buffer head changed "
                   "before pop", cycle=self.cycle, port=j, vc=vc,
                   check="buffer-integrity")
@@ -338,6 +353,13 @@ class HierarchicalCrossbarRouter(Router):
         self._start_traversal(flit, j)
 
     # ------------------------------------------------------------------
+
+    def busy(self) -> bool:
+        if super().busy():
+            return True
+        # Keep the clock running while subswitch-input credits are
+        # still in the return pipe.
+        return self._credit_pipe.pending() > 0
 
     def _extra_occupancy(self) -> int:
         inside = sum(

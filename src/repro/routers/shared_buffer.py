@@ -75,6 +75,9 @@ class SharedBufferCrossbarRouter(Router):
         self._credit_return: DelayLine[CreditCounter] = DelayLine(
             config.credit_latency
         )
+        # Per output: crosspoints currently holding flits, so the
+        # output stage skips the O(k) head scan of empty columns.
+        self._occupied: List[set] = [set() for _ in range(k)]
         self._head_delay = config.route_latency
 
     # ------------------------------------------------------------------
@@ -92,6 +95,8 @@ class SharedBufferCrossbarRouter(Router):
     def _input_stage(self) -> None:
         now = self.cycle
         for i in range(self.config.radix):
+            if not self._in_active[i]:
+                continue
             if not self.input_busy.free(i, now):
                 continue
             sendable = [
@@ -140,6 +145,7 @@ class SharedBufferCrossbarRouter(Router):
                 state.allocate(claim, flit.packet_id)
             flit.out_vc = flit.vc
             self.crosspoints[i][j].push(flit)
+            self._occupied[j].add(i)
             self._responses.push(self.cycle, (i, flit.vc, _ACK))
 
     def _deliver_responses(self) -> None:
@@ -148,6 +154,7 @@ class SharedBufferCrossbarRouter(Router):
             if ack:
                 # Retire the original copy held at the input.
                 self.inputs[i][vc].pop()
+                self._input_emptied(i)
 
     # ------------------------------------------------------------------
 
@@ -155,19 +162,33 @@ class SharedBufferCrossbarRouter(Router):
         now = self.cycle
         k = self.config.radix
         for j in range(k):
+            if not self._occupied[j]:
+                continue
             if not self.output_busy.free(j, now):
                 continue
-            heads = [self.crosspoints[i][j].head() for i in range(k)]
+            # Sorted so request order never depends on set iteration
+            # order (the occupied set holds exactly the non-empty
+            # crosspoints, in place of the old full head scan).
             winner = self._output_arb.grant(
-                j, [(i, False) for i, h in enumerate(heads) if h is not None]
+                j, [(i, False) for i in sorted(self._occupied[j])]
             )
             if winner is None:
                 continue
             flit = self.crosspoints[winner][j].pop()
+            if not self.crosspoints[winner][j]:
+                self._occupied[j].discard(winner)
             self._start_traversal(flit, j)
             self._credit_return.push(now, self._credits[winner][j])
+            if self.hooks.credit:
+                self.hooks.emit_credit(winner, flit.vc, now)
 
     # ------------------------------------------------------------------
+
+    def busy(self) -> bool:
+        if super().busy():
+            return True
+        # Credit restores still travelling back to the inputs.
+        return bool(self._credit_return)
 
     def _extra_occupancy(self) -> int:
         buffered = sum(len(q) for row in self.crosspoints for q in row)

@@ -61,6 +61,8 @@ class VoqRouter(Router):
     def _sort_arrivals(self) -> None:
         """Move flits from the per-VC input buffers into their VOQs."""
         for i in range(self.config.radix):
+            if not self._in_active[i]:
+                continue
             for vc in range(self.config.num_vcs):
                 queue = self.inputs[i][vc]
                 while queue:
@@ -75,12 +77,14 @@ class VoqRouter(Router):
                         break
                     self.voqs[i][flit.dest][flit.vc].push(queue.pop())
                     self._occupied[i].add(flit.dest)
+            self._input_emptied(i)
 
     def _allocate(self) -> None:
         now = self.cycle
         requests: List[Set[int]] = []
+        any_wants = False
         for i in range(self.config.radix):
-            if not self.input_busy.free(i, now):
+            if not self._occupied[i] or not self.input_busy.free(i, now):
                 requests.append(set())
                 continue
             wants = set()
@@ -90,6 +94,12 @@ class VoqRouter(Router):
                 if self._ready_vc(i, j, peek=True) is not None:
                     wants.add(j)
             requests.append(wants)
+            if wants:
+                any_wants = True
+        if not any_wants:
+            # iSLIP over an all-empty request set grants nothing and
+            # moves no pointers; skip the allocator entirely.
+            return
         matching = self._islip.allocate(requests)
         for i, j in matching.items():
             self._transmit(i, j)

@@ -14,6 +14,7 @@ class TestParser:
         args = build_parser().parse_args(["sweep"])
         assert args.arch == "hierarchical"
         assert args.radix == 32
+        assert args.jobs == 1
 
     def test_all_architectures_registered(self):
         assert set(ARCHITECTURES) == {
@@ -53,6 +54,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "buffered" in out
         assert "0.3" in out
+
+    def test_sweep_jobs_matches_serial(self, capsys):
+        """--jobs N fans points over processes; output stays identical."""
+        argv = [
+            "sweep", "--arch", "buffered", "--radix", "8",
+            "--subswitch", "4", "--loads", "0.2,0.4",
+            "--warmup", "100", "--measure", "200", "--drain", "2000",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
 
     def test_sweep_with_plot(self, capsys):
         rc = main([

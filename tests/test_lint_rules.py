@@ -1,4 +1,4 @@
-"""Unit tests for the repro.analysis lint pass (rules R001-R005).
+"""Unit tests for the repro.analysis lint pass (rules R001-R006).
 
 Each rule gets a positive fixture (the violation is found, with the
 right code and line), a negative fixture (idiomatic code stays clean),
@@ -25,6 +25,7 @@ from repro.analysis.rules.determinism import (
     DirectRandomRule,
     NondeterminismRule,
 )
+from repro.analysis.rules.engine_rules import ComputePhasePurityRule
 from repro.analysis.rules.structure import RouterSubclassRule
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -310,6 +311,100 @@ class TestRouterSubclass:
             "        Router.__init__(self, config)\n"
             "\n"
             "    def step(self):\n"
+            "        pass\n"
+        )
+        assert _lint(tmp_path, src, self.RULES) == []
+
+
+# ----------------------------------------------------------------------
+# R006: compute-phase purity
+# ----------------------------------------------------------------------
+
+_COMPUTE_MUTATES = """\
+class LeakyComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self.occupancy = self.occupancy + 1
+
+    def commit(self, cycle):
+        pass
+"""
+
+_COMPUTE_STAGES = """\
+class CleanComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self._staged_ejects = self._pipe.pop_ready(cycle)
+        self._staged_credits = ()
+
+    def commit(self, cycle):
+        self.total += len(self._staged_ejects)
+        self._staged_ejects = ()
+"""
+
+
+class TestComputePhasePurity:
+    RULES = [ComputePhasePurityRule()]
+
+    def test_committed_state_write_flagged(self, tmp_path):
+        findings = _lint(tmp_path, _COMPUTE_MUTATES, self.RULES)
+        assert _codes(findings) == ["R006"]
+        assert "self.occupancy" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_cycle_and_staged_writes_clean(self, tmp_path):
+        assert _lint(tmp_path, _COMPUTE_STAGES, self.RULES) == []
+
+    def test_augassign_and_subscript_writes_flagged(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        self.count += 1\n"
+            "        self.slots[0] = None\n"
+            "    def commit(self, cycle):\n"
+            "        pass\n"
+        )
+        findings = _lint(tmp_path, src, self.RULES)
+        assert _codes(findings) == ["R006", "R006"]
+        assert [f.line for f in findings] == [3, 4]
+
+    def test_tuple_unpack_write_flagged(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        self._staged_a, self.b = 1, 2\n"
+            "    def commit(self, cycle):\n"
+            "        pass\n"
+        )
+        findings = _lint(tmp_path, src, self.RULES)
+        assert _codes(findings) == ["R006"]
+        assert "self.b" in findings[0].message
+
+    def test_class_without_commit_ignored(self, tmp_path):
+        src = (
+            "class NotAComponent:\n"
+            "    def compute(self, cycle):\n"
+            "        self.cache = cycle\n"
+        )
+        assert _lint(tmp_path, src, self.RULES) == []
+
+    def test_local_and_non_self_writes_clean(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        total = 0\n"
+            "        other.attr = 1\n"
+            "    def commit(self, cycle):\n"
+            "        pass\n"
+        )
+        assert _lint(tmp_path, src, self.RULES) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        self.scratch = 1  # lint: disable=R006\n"
+            "    def commit(self, cycle):\n"
             "        pass\n"
         )
         assert _lint(tmp_path, src, self.RULES) == []
