@@ -79,6 +79,89 @@ def _best_of(rounds, fn):
     return min(times), checksum
 
 
+# ----------------------------------------------------------------------
+# Tracing overhead: the disabled hook guards must be (nearly) free
+# ----------------------------------------------------------------------
+
+#: Max fraction of run time the disabled emission guards may cost.
+TRACE_OVERHEAD_CEILING = 0.05
+
+
+def test_perf_tracing_disabled_overhead(benchmark):
+    """With no collector attached, the ``if hooks.stage_enter:``-style
+    guards added for repro.trace must cost <= 5% of the run.
+
+    A/B wall-time comparison of two full runs is hopeless at the 5%
+    level (scheduler noise alone swings pedantic means by more), so the
+    bound is measured directly: count how often the emission guards
+    fire in a representative run (by subscribing counters to every
+    hook event — one callback per would-be guard evaluation), measure
+    the per-evaluation cost of a cold guard on the same bus type, and
+    compare the product against the untraced wall time.
+    """
+    from repro.engine.hooks import EngineHooks
+    from repro.trace import COUNT_ONLY, TraceCollector
+
+    config = RouterConfig(radix=32)
+
+    def run(tracer=None):
+        sim = SwitchSimulation(
+            HierarchicalCrossbarRouter(config), load=0.6, tracer=tracer,
+        )
+        for _ in range(400):
+            sim.step()
+        return sim.router.stats.flits_ejected
+
+    delivered = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    assert delivered > 0
+    untraced, _ = _best_of(ROUNDS, run)
+
+    # Attaching a collector must not change the simulation (passivity).
+    traced_delivered = run(TraceCollector(trace_filter=COUNT_ONLY))
+    assert traced_delivered == delivered, "tracing changed the simulation"
+
+    # Count guard firings: each emitted event is one taken guard.
+    events = [0]
+
+    def count(*_args):
+        events[0] += 1
+
+    counting = SwitchSimulation(
+        HierarchicalCrossbarRouter(config), load=0.6,
+    )
+    bus = counting.hooks
+    for hook in ("on_flit_move", "on_stage_enter", "on_spec_outcome",
+                 "on_grant", "on_credit", "on_cycle_start",
+                 "on_cycle_end"):
+        getattr(bus, hook)(count)
+    for _ in range(400):
+        counting.step()
+    assert events[0] > 0
+
+    # Per-evaluation cost of a disabled guard (attribute load + empty
+    # list truthiness), min over rounds like the wall times above.
+    idle = EngineHooks()
+    reps = 100_000
+    per_eval_times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()  # lint: disable=R002
+        for _ in range(reps):
+            if idle.stage_enter:
+                pass  # pragma: no cover - the list is empty
+        per_eval_times.append(
+            (time.perf_counter() - start) / reps  # lint: disable=R002
+        )
+    guard_cost = min(per_eval_times) * events[0]
+
+    overhead = guard_cost / untraced
+    assert overhead <= TRACE_OVERHEAD_CEILING, (
+        f"disabled-tracing guards cost {overhead:.1%} of the run "
+        f"({events[0]} guard evaluations x "
+        f"{min(per_eval_times) * 1e9:.0f}ns vs {untraced:.3f}s; "
+        f"ceiling {TRACE_OVERHEAD_CEILING:.0%})"
+    )
+
+
 def test_perf_active_set_radix64_low_load(benchmark):
     """Radix-64 switch at low load: parking must pay >= 1.5x."""
     def run(active_set):

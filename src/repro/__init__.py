@@ -18,7 +18,10 @@ This package implements, from scratch in pure Python:
 * the warm-up / sample / drain measurement harness of Section 4.3
   (:mod:`repro.harness`);
 * determinism/conservation tooling (:mod:`repro.analysis`): an AST
-  lint pass and the :class:`SimSanitizer` runtime invariant checker.
+  lint pass and the :class:`SimSanitizer` runtime invariant checker;
+* flit-lifecycle tracing (:mod:`repro.trace`): the
+  :class:`TraceCollector` hook-bus subscriber with per-stage latency
+  breakdowns and Chrome trace-event export.
 
 Quick start::
 
@@ -51,6 +54,7 @@ from .routers.distributed import DistributedRouter
 from .routers.hierarchical import HierarchicalCrossbarRouter
 from .routers.shared_buffer import SharedBufferCrossbarRouter
 from .routers.voq import VoqRouter
+from .trace import TraceCollector, TraceFilter
 from .traffic.injection import Bernoulli, MarkovOnOff
 from .traffic.patterns import (
     Diagonal,
@@ -83,6 +87,8 @@ __all__ = [
     "WorstCaseHierarchical",
     "Bernoulli",
     "MarkovOnOff",
+    "TraceCollector",
+    "TraceFilter",
     "SwitchSimulation",
     "SweepSettings",
     "SweepResult",

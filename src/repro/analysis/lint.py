@@ -16,7 +16,7 @@ A pragma applies to findings reported on its own physical line.
 
 The framework is deliberately small: rules are plain classes with a
 ``code``, a ``description``, and a ``check(tree, ctx)`` generator — see
-:mod:`repro.analysis.rules` for the catalogue (R001-R006).
+:mod:`repro.analysis.rules` for the catalogue (R001-R007).
 """
 
 from __future__ import annotations

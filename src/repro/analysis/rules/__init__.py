@@ -17,6 +17,9 @@ R005  router-subclass-contract    ``Router`` subclasses implement the
 R006  compute-phase-purity        ``Component.compute`` only stages
                                   intents (``self._staged*``); all
                                   mutation happens in ``commit``
+R007  hook-emission-phase         Hook events (``*.emit_*``) fire from
+                                  ``commit``, never from the
+                                  speculative ``compute`` phase
 ===== ==========================  ====================================
 """
 
@@ -27,7 +30,7 @@ from typing import List
 from ..lint import LintRule
 from .config_rules import ConfigMutationRule, MutableDefaultRule
 from .determinism import DirectRandomRule, NondeterminismRule
-from .engine_rules import ComputePhasePurityRule
+from .engine_rules import ComputePhasePurityRule, HookEmissionPhaseRule
 from .structure import RouterSubclassRule
 
 
@@ -40,6 +43,7 @@ def all_rules() -> List[LintRule]:
         MutableDefaultRule(),
         RouterSubclassRule(),
         ComputePhasePurityRule(),
+        HookEmissionPhaseRule(),
     ]
 
 
@@ -51,4 +55,5 @@ __all__ = [
     "MutableDefaultRule",
     "RouterSubclassRule",
     "ComputePhasePurityRule",
+    "HookEmissionPhaseRule",
 ]

@@ -1,4 +1,4 @@
-"""Engine rule R006: the two-phase ``compute`` contract.
+"""Engine rules R006/R007: the two-phase ``compute`` contract.
 
 The :class:`repro.engine.Component` protocol splits each cycle into a
 read phase and a write phase: ``compute(cycle)`` inspects state and
@@ -14,6 +14,15 @@ R006 enforces the contract syntactically: in any class that defines
 ``cycle`` stamp or follows the ``_staged*`` naming convention for
 staged intents.  Use a ``# lint: disable=R006`` pragma for the rare
 deliberate exception.
+
+R007 extends the same discipline to observability: hook emissions
+(``*.emit_*`` calls on an :class:`~repro.engine.hooks.EngineHooks`
+bus) are externally visible side effects, so firing one from
+``compute`` leaks speculative, possibly-to-be-discarded intents to
+trace consumers and makes the event stream depend on component
+evaluation order.  Emissions must happen in ``commit`` (or in
+externally driven entry points such as ``accept``), where the state
+they describe is final.
 """
 
 from __future__ import annotations
@@ -115,4 +124,55 @@ class ComputePhasePurityRule(LintRule):
                     )
 
 
-__all__ = ["ComputePhasePurityRule"]
+class HookEmissionPhaseRule(LintRule):
+    """R007: hook events fire from ``commit``, never from ``compute``."""
+
+    code = "R007"
+    name = "hook-emission-phase"
+    description = (
+        "Component.compute must not emit hook events (*.emit_* calls); "
+        "observability fires from commit, where state is final"
+    )
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            # Same scoping as R006: only two-phase Components are bound.
+            if "commit" not in methods:
+                continue
+            compute = next(
+                (
+                    stmt
+                    for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "compute"
+                ),
+                None,
+            )
+            if compute is None:
+                continue
+            for call in ast.walk(compute):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr.startswith("emit_")
+                ):
+                    continue
+                yield self.finding(
+                    ctx, call,
+                    f"`{node.name}.compute` calls `{func.attr}`; hook "
+                    "events describe committed state and must be emitted "
+                    "from `commit` (or an externally driven entry point), "
+                    "never during the speculative compute phase",
+                )
+
+
+__all__ = ["ComputePhasePurityRule", "HookEmissionPhaseRule"]

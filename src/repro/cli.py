@@ -9,7 +9,10 @@ Gives the library's main experiments a shell entry point:
 * ``area`` — storage/area comparison between organizations;
 * ``run`` — a single measured run, optionally under the runtime
   sanitizer (``--sanitize``);
-* ``lint`` — the repository's AST lint pass (rules R001-R006).
+* ``trace`` — a traced run: measured per-stage pipeline breakdown and
+  optional Chrome trace-event JSON (``--chrome out.json``, loadable in
+  Perfetto);
+* ``lint`` — the repository's AST lint pass (rules R001-R007).
 
 Examples::
 
@@ -20,6 +23,7 @@ Examples::
     python -m repro network --load 0.5
     python -m repro area --radix 64
     python -m repro run --arch buffered --radix 16 --load 0.8 --sanitize
+    python -m repro trace --arch hierarchical --radix 8 --subswitch 4 --chrome out.json
     python -m repro lint src
 """
 
@@ -244,6 +248,74 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _measured_arch_key(arch: str, vc_alloc: str) -> str:
+    """CLI architecture name -> ``measured_pipeline`` table key."""
+    return vc_alloc if arch == "distributed" else arch
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """One traced run: stage breakdown + optional Chrome trace JSON.
+
+    Attaches a :class:`~repro.trace.TraceCollector` (with the sampling
+    filter built from ``--every-nth`` / ``--ports`` / ``--trace-vcs``),
+    prints the measured per-stage latency breakdown against the
+    zero-load expectation, and with ``--chrome PATH`` writes the
+    Perfetto-loadable trace-event JSON.
+    """
+    from .harness.experiment import SwitchSimulation
+    from .trace import TraceCollector, TraceFilter, dump_chrome_trace
+    from .trace.breakdown import format_stage_breakdown
+
+    config = _config_from_args(args)
+    router = ARCHITECTURES[args.arch](config)
+    trace_filter = TraceFilter(
+        every_nth=args.every_nth,
+        ports=(
+            frozenset(int(p) for p in args.ports.split(","))
+            if args.ports else None
+        ),
+        vcs=(
+            frozenset(int(v) for v in args.trace_vcs.split(","))
+            if args.trace_vcs else None
+        ),
+    )
+    collector = TraceCollector(
+        capacity=args.capacity, trace_filter=trace_filter
+    )
+    sim = SwitchSimulation(
+        router,
+        load=args.load,
+        packet_size=args.packet_size,
+        pattern=_make_pattern(args.pattern, config),
+        injection=args.injection,
+        tracer=collector,
+    )
+    result = sim.run(_settings(args))
+    arch_key = _measured_arch_key(args.arch, args.vc_alloc)
+    print(format_stage_breakdown(
+        collector, config=config, architecture=arch_key,
+        title=f"{args.arch} @ radix {config.radix}, load {args.load} "
+              f"({collector.completed} traced flits, "
+              f"{collector.evicted} evicted)",
+    ))
+    for kind in sorted(collector.spec):
+        rate = collector.spec_hit_rate(kind)
+        hits, misses = collector.spec[kind]
+        print(f"speculation {kind}: {hits} hits / {misses} misses "
+              f"(hit rate {rate:.3f})")
+    util = collector.channel_utilization()
+    if util:
+        mean = sum(util.values()) / len(util)
+        print(f"channel utilization: mean {mean:.3f}, "
+              f"max {max(util.values()):.3f} "
+              f"(offered load {result.offered_load:.3f})")
+    if args.chrome:
+        events = dump_chrome_trace(collector, args.chrome)
+        print(f"chrome trace: wrote {events} events to {args.chrome} "
+              "(load in https://ui.perfetto.dev)")
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.lint import run_lint
 
@@ -352,7 +424,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_router_args(run)
     run.set_defaults(func=cmd_run)
 
-    lint = subs.add_parser("lint", help="AST lint pass (R001-R006)")
+    trace = subs.add_parser(
+        "trace", help="traced run: stage breakdown + Chrome trace JSON"
+    )
+    trace.add_argument("--arch", choices=ARCHITECTURES,
+                       default="hierarchical")
+    trace.add_argument("--load", type=float, default=0.5)
+    trace.add_argument("--chrome", metavar="PATH", default=None,
+                       help="write Chrome trace-event JSON here "
+                            "(open in Perfetto)")
+    trace.add_argument("--every-nth", type=int, default=1,
+                       help="trace every Nth packet (deterministic "
+                            "packet-id sampling; default: all)")
+    trace.add_argument("--ports", default=None,
+                       help="comma-separated input ports to trace "
+                            "(default: all)")
+    trace.add_argument("--trace-vcs", default=None,
+                       help="comma-separated VCs to trace (default: all)")
+    trace.add_argument("--capacity", type=int, default=4096,
+                       help="lifecycle-record ring buffer size")
+    _add_router_args(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    lint = subs.add_parser("lint", help="AST lint pass (R001-R007)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
     lint.set_defaults(func=cmd_lint)

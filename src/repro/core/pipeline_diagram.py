@@ -115,6 +115,60 @@ def pipeline_for(config: RouterConfig, architecture: str) -> List[Stage]:
     return table[architecture](config)
 
 
+def measured_pipeline(config: RouterConfig, architecture: str) -> List[Stage]:
+    """Expected *observable* stage spans at zero load, per architecture.
+
+    Where :func:`pipeline_for` renders the paper's figure pipelines
+    (with their RC/VA/SA1/SA2 decomposition), this table describes the
+    stages a :class:`repro.trace.TraceCollector` actually sees on the
+    ``stage_enter`` hook — one entry per emission point, named after the
+    router's ``TRACE_STAGES`` — and how many cycles a contention-free
+    head flit spends in each.  Internal work with no emission point of
+    its own is folded into the preceding stage: the baseline's "RC"
+    span covers RC+VA (``route_latency + 1``), and the OVA "SA" span
+    covers SA plus the serialized VC check
+    (``sa_latency + ova_extra_latency``).
+
+    The stage sum equals the simulated zero-load head-flit latency from
+    :meth:`Router.accept` to ejection; for ``baseline``/``cva``/``ova``
+    it also equals ``head_flit_latency(pipeline_for(config, arch))``
+    (with the default ``ova_extra_latency=1``), which the differential
+    tests pin.
+    """
+    rl, fc = config.route_latency, config.flit_cycles
+    if architecture == "baseline":
+        return [Stage("RC", rl + 1), Stage("ST", fc)]
+    if architecture == "cva":
+        return [
+            Stage("RC", rl),
+            Stage("SA", config.sa_latency, speculative=True),
+            Stage("ST", fc),
+        ]
+    if architecture == "ova":
+        return [
+            Stage("RC", rl),
+            Stage("SA", config.sa_latency + config.ova_extra_latency,
+                  speculative=True),
+            Stage("ST", fc),
+        ]
+    if architecture in ("buffered", "shared-buffer"):
+        return [Stage("RC", rl), Stage("XB", fc), Stage("ST", fc)]
+    if architecture == "hierarchical":
+        return [
+            Stage("RC", rl),
+            Stage("ROW", fc),
+            Stage("SUB", fc),
+            Stage("ST", fc),
+        ]
+    if architecture == "voq":
+        return [Stage("RC", rl), Stage("ST", fc)]
+    raise ValueError(
+        f"unknown architecture {architecture!r}; expected one of "
+        "['baseline', 'buffered', 'cva', 'hierarchical', 'ova', "
+        "'shared-buffer', 'voq']"
+    )
+
+
 def head_flit_latency(stages: List[Stage]) -> int:
     """Zero-load cycles from arrival to delivery for a head flit."""
     return sum(stage.cycles for stage in stages)

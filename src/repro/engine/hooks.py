@@ -25,7 +25,22 @@ Event signatures:
 ``credit(port, vc, cycle)``
                         a credit matured and was returned upstream for
                         ``(port, vc)``
+``stage_enter(flit, stage, port, cycle)``
+                        the flit entered a named pipeline stage
+                        (``"RC"``, ``"SA"``, ``"XB"``, ``"ROW"``,
+                        ``"SUB"``, ``"ST"`` — see each router's
+                        ``TRACE_STAGES``) at ``cycle``; ``port`` is the
+                        input port for ingress stages and the output
+                        port once a destination is decided
+``spec_outcome(kind, hit, port, cycle)``
+                        a speculative allocation of ``kind`` (``"cva"``,
+                        ``"ova"``, ``"xpva"``, ``"subva"``) resolved as
+                        a hit (``hit=True``) or was killed/NACKed
 ======================  ================================================
+
+All emissions happen during the commit phase (or in externally driven
+entry points such as ``accept``) — never during ``compute``, which must
+stay pure.  Lint rule R007 enforces this.
 """
 
 from __future__ import annotations
@@ -36,7 +51,10 @@ from typing import Callable, List
 class EngineHooks:
     """Callback registry for one emitter (a router or a scheduler)."""
 
-    __slots__ = ("cycle_start", "cycle_end", "flit_move", "grant", "credit")
+    __slots__ = (
+        "cycle_start", "cycle_end", "flit_move", "grant", "credit",
+        "stage_enter", "spec_outcome",
+    )
 
     def __init__(self) -> None:
         self.cycle_start: List[Callable] = []
@@ -44,6 +62,8 @@ class EngineHooks:
         self.flit_move: List[Callable] = []
         self.grant: List[Callable] = []
         self.credit: List[Callable] = []
+        self.stage_enter: List[Callable] = []
+        self.spec_outcome: List[Callable] = []
 
     def on_cycle_start(self, fn: Callable) -> Callable:
         self.cycle_start.append(fn)
@@ -65,6 +85,14 @@ class EngineHooks:
         self.credit.append(fn)
         return fn
 
+    def on_stage_enter(self, fn: Callable) -> Callable:
+        self.stage_enter.append(fn)
+        return fn
+
+    def on_spec_outcome(self, fn: Callable) -> Callable:
+        self.spec_outcome.append(fn)
+        return fn
+
     def emit_cycle_start(self, cycle: int) -> None:
         for fn in self.cycle_start:
             fn(cycle)
@@ -84,3 +112,13 @@ class EngineHooks:
     def emit_credit(self, port: int, vc: int, cycle: int) -> None:
         for fn in self.credit:
             fn(port, vc, cycle)
+
+    def emit_stage_enter(self, flit, stage: str, port: int,
+                         cycle: int) -> None:
+        for fn in self.stage_enter:
+            fn(flit, stage, port, cycle)
+
+    def emit_spec_outcome(self, kind: str, hit: bool, port: int,
+                          cycle: int) -> None:
+        for fn in self.spec_outcome:
+            fn(kind, hit, port, cycle)

@@ -67,6 +67,7 @@ class SwitchSimulation:
         record_delivered: bool = False,
         sanitize: bool = False,
         active_set: bool = True,
+        tracer=None,
     ) -> None:
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -86,6 +87,14 @@ class SwitchSimulation:
         self._sched = Scheduler(
             [self._engine], hooks=self._engine.hooks, active_set=active_set
         )
+        #: Optional trace collector (see :mod:`repro.trace`): anything
+        #: with ``attach(sim)`` and ``fold_stats(stats)``.  Attached
+        #: here — before any cycle runs — so lifecycle records start at
+        #: the first accept; its aggregate counters are folded into the
+        #: run result's ``stats.trace.*`` extras by :meth:`run`.
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.attach(self)
         self.config = router.config
         self.load = load
         self.packet_size = packet_size
@@ -235,6 +244,8 @@ class SwitchSimulation:
         result.extra["source_backlog"] = float(
             sum(s.backlog() for s in self.sources)
         )
+        if self._tracer is not None:
+            self._tracer.fold_stats(self.router.stats)
         # Ad-hoc RouterStats.bump() counters ride along under a
         # ``stats.`` prefix so they survive into reports and sweeps
         # instead of being silently dropped with the router instance.

@@ -110,6 +110,11 @@ class OutputLink:
 class NetworkRouter(Component):
     """Reduced-detail input-queued VC router for network simulation."""
 
+    # The reduced-detail model folds its internal pipeline into a fixed
+    # ``pipeline_delay``, so only arrival ("RC") and link transmission
+    # ("ST") are observable per hop.
+    TRACE_STAGES = ("RC", "ST")
+
     def __init__(self, config: NetworkRouterConfig, name: str = "") -> None:
         self.config = config
         self.name = name
@@ -156,6 +161,8 @@ class NetworkRouter(Component):
         self._resident += 1
         if self.hooks.flit_move:
             self.hooks.emit_flit_move("accept", flit, port, self.cycle)
+        if self.hooks.stage_enter:
+            self.hooks.emit_stage_enter(flit, "RC", port, self.cycle)
 
     def input_space(self, port: int, vc: int) -> int:
         return self.inputs[port][vc].free_slots
@@ -285,6 +292,8 @@ class NetworkRouter(Component):
         link.deliver(flit, self.cycle + latency)
         if self.hooks.grant:
             self.hooks.emit_grant(flit, out, self.cycle)
+        if self.hooks.stage_enter:
+            self.hooks.emit_stage_enter(flit, "ST", out, self.cycle)
         if flit.is_tail:
             self._vc_release.push(self.cycle, (out, flit.vc, flit.packet_id))
         # Return a credit upstream for the freed input buffer slot.

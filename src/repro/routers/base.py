@@ -67,6 +67,14 @@ class RouterStats:
 class Router(Component):
     """Base class: per-VC input buffers, ejection pipeline, VC ledgers."""
 
+    #: Observable pipeline stages, in traversal order, as emitted on the
+    #: ``stage_enter`` hook.  ``"RC"`` fires on :meth:`accept` (route
+    #: computation begins when the flit arrives) and ``"ST"`` fires when
+    #: switch traversal starts (:meth:`_start_traversal`); organizations
+    #: with intermediate stages extend this tuple and add emission
+    #: points of their own.
+    TRACE_STAGES: Tuple[str, ...] = ("RC", "ST")
+
     def __init__(self, config: RouterConfig) -> None:
         self.config = config
         self.cycle = 0
@@ -119,6 +127,8 @@ class Router(Component):
         self._in_active[port] = True
         if self.hooks.flit_move:
             self.hooks.emit_flit_move("accept", flit, port, self.cycle)
+        if self.hooks.stage_enter:
+            self.hooks.emit_stage_enter(flit, "RC", port, self.cycle)
 
     def compute(self, cycle: int) -> None:
         """Phase 1: collect pipeline entries maturing this cycle."""
@@ -208,6 +218,11 @@ class Router(Component):
             )
         if self.hooks.grant:
             self.hooks.emit_grant(flit, out_port, self.cycle)
+        if self.hooks.stage_enter:
+            # Stamped at ``begin``, not the grant cycle: with an extra
+            # grant delay (OVA) the wires are crossed starting at
+            # ``begin`` and the stage span must reflect that.
+            self.hooks.emit_stage_enter(flit, "ST", out_port, begin)
 
     def _extra_occupancy(self) -> int:
         """Flits held in architecture-specific structures (overridden)."""

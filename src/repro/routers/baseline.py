@@ -34,6 +34,11 @@ from .base import Router
 class BaselineRouter(Router):
     """Input-queued crossbar with centralized single-cycle VA and SA."""
 
+    # The centralized allocator has no observable intermediate stage:
+    # the "RC" span measured by repro.trace covers the RC+VA eligibility
+    # delay (route_latency + 1), and "ST" fires at the grant.
+    TRACE_STAGES = ("RC", "ST")
+
     def __init__(self, config: RouterConfig) -> None:
         super().__init__(config)
         k, v = config.radix, config.num_vcs

@@ -53,6 +53,10 @@ from .base import Router
 class BufferedCrossbarRouter(Router):
     """Crossbar with per-VC buffers at each crosspoint (Figure 12(b))."""
 
+    # "XB" fires when the flit launches across its input row toward the
+    # crosspoint buffer; "ST" fires when the output column grants it.
+    TRACE_STAGES = ("RC", "XB", "ST")
+
     def __init__(self, config: RouterConfig) -> None:
         super().__init__(config)
         k, v = config.radix, config.num_vcs
@@ -134,6 +138,8 @@ class BufferedCrossbarRouter(Router):
             self.input_busy.reserve(i, now, self.config.flit_cycles)
             self._to_crosspoint.push(now, (flit, i, flit.dest))
             self._in_flight_to_xp += 1
+            if self.hooks.stage_enter:
+                self.hooks.emit_stage_enter(flit, "XB", flit.dest, now)
 
     def _sendable(self, i: int, vc: int) -> Optional[Flit]:
         """Head-of-queue flit of (i, vc) if a crosspoint credit exists."""

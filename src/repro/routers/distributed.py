@@ -74,6 +74,11 @@ class _Request:
 class DistributedRouter(Router):
     """Radix-k router with distributed three-stage allocation."""
 
+    # "SA" fires when a switch request is issued into the allocation
+    # pipeline (SA1); the request matures sa_latency cycles later and
+    # "ST" fires at the grant (plus the OVA extra grant delay).
+    TRACE_STAGES = ("RC", "SA", "ST")
+
     def __init__(self, config: RouterConfig) -> None:
         super().__init__(config)
         k, v, m = config.radix, config.num_vcs, config.local_group_size
@@ -137,6 +142,8 @@ class DistributedRouter(Router):
                       port=i, vc=vc, check="arbitration")
             if request.kind == KIND_SWITCH:
                 self.speculation.record_request(request.speculative)
+                if self.hooks.stage_enter:
+                    self.hooks.emit_stage_enter(request.flit, "SA", i, now)
             self._pending[i] = request
             self._pipe.push(now, request)
 
@@ -243,8 +250,12 @@ class DistributedRouter(Router):
                 self.stats.spec_vc_failures += 1
                 self.stats.wasted_output_cycles += 1
                 self.speculation.record_kill()
+                if self.hooks.spec_outcome:
+                    self.hooks.emit_spec_outcome("cva", False, out, self.cycle)
                 self._kill(winner)
                 return
+            if self.hooks.spec_outcome:
+                self.hooks.emit_spec_outcome("cva", True, out, self.cycle)
         self._grant(winner)
 
     def _resolve_ova(self, out: int, reqs: Dict[int, _Request]) -> None:
@@ -262,9 +273,13 @@ class DistributedRouter(Router):
             self.stats.spec_vc_failures += 1
             self.stats.wasted_output_cycles += 1
             self.speculation.record_kill()
+            if self.hooks.spec_outcome:
+                self.hooks.emit_spec_outcome("ova", False, out, self.cycle)
             self._kill(winner)
             return
         winner.out_vc = out_vc
+        if self.hooks.spec_outcome:
+            self.hooks.emit_spec_outcome("ova", True, out, self.cycle)
         self._grant(winner, extra_delay=self._ova.extra_grant_latency)
 
     def _arbitrate_output(

@@ -76,6 +76,11 @@ class _Subswitch:
 class HierarchicalCrossbarRouter(Router):
     """k×k crossbar built from (k/p)^2 buffered p×p subswitches."""
 
+    # "ROW" fires when the flit launches across the input row bus
+    # toward its subswitch, "SUB" when it crosses the p×p subswitch
+    # toward an output buffer, and "ST" at the final output-port grant.
+    TRACE_STAGES = ("RC", "ROW", "SUB", "ST")
+
     def __init__(self, config: RouterConfig) -> None:
         super().__init__(config)
         k, v, p = config.radix, config.num_vcs, config.subswitch_size
@@ -153,6 +158,8 @@ class HierarchicalCrossbarRouter(Router):
             self.input_busy.reserve(i, now, self.config.flit_cycles)
             self._to_sub.push(now, (flit, i, col))
             self._in_flight += 1
+            if self.hooks.stage_enter:
+                self.hooks.emit_stage_enter(flit, "ROW", i, now)
 
     def _sendable(self, i: int, vc: int) -> Optional[Flit]:
         flit = self.inputs[i][vc].head()
@@ -246,6 +253,10 @@ class HierarchicalCrossbarRouter(Router):
             # open by another packet.
             if writer is not None and writer != flit.packet_id:
                 self.stats.spec_vc_failures += 1
+                if self.hooks.spec_outcome:
+                    self.hooks.emit_spec_outcome(
+                        "subva", False, flit.dest, self.cycle
+                    )
                 return None
         else:
             if writer != flit.packet_id:
@@ -265,12 +276,18 @@ class HierarchicalCrossbarRouter(Router):
         flit.out_vc = out_vc
         if flit.is_head:
             sub.writer[(lo, out_vc)] = flit.packet_id
+            if self.hooks.spec_outcome:
+                self.hooks.emit_spec_outcome(
+                    "subva", True, flit.dest, self.cycle
+                )
         if flit.is_tail:
             sub.writer.pop((lo, out_vc), None)
         fc = self.config.flit_cycles
         sub.in_busy.reserve(li, self.cycle, fc)
         sub.out_lane_busy.reserve(lo, self.cycle, fc)
         sub.crossing.push(self.cycle, (flit, lo))
+        if self.hooks.stage_enter:
+            self.hooks.emit_stage_enter(flit, "SUB", flit.dest, self.cycle)
         # The subswitch input buffer slot is free: return the credit.
         i = sub.row * self.config.subswitch_size + li
         counter = self._in_credits[i][sub.col][vc]

@@ -50,6 +50,11 @@ _NACK = False
 class SharedBufferCrossbarRouter(Router):
     """Crossbar with one shared buffer per crosspoint and ACK/NACK flow."""
 
+    # "XB" fires at every speculative launch across the input row — a
+    # NACKed head flit re-emits it on each retry — and "ST" fires when
+    # the output column grants the buffered copy.
+    TRACE_STAGES = ("RC", "XB", "ST")
+
     def __init__(self, config: RouterConfig) -> None:
         super().__init__(config)
         k = config.radix
@@ -114,6 +119,8 @@ class SharedBufferCrossbarRouter(Router):
             self.input_busy.reserve(i, now, self.config.flit_cycles)
             self._to_crosspoint.push(now, (flit, i, flit.dest))
             self._in_flight += 1
+            if self.hooks.stage_enter:
+                self.hooks.emit_stage_enter(flit, "XB", flit.dest, now)
 
     def _sendable(self, i: int, vc: int) -> Optional[Flit]:
         if self._awaiting[i][vc]:
@@ -141,8 +148,14 @@ class SharedBufferCrossbarRouter(Router):
                     self.stats.spec_vc_failures += 1
                     self._credits[i][j].restore()
                     self._responses.push(self.cycle, (i, flit.vc, _NACK))
+                    if self.hooks.spec_outcome:
+                        self.hooks.emit_spec_outcome(
+                            "xpva", False, j, self.cycle
+                        )
                     continue
                 state.allocate(claim, flit.packet_id)
+                if self.hooks.spec_outcome:
+                    self.hooks.emit_spec_outcome("xpva", True, j, self.cycle)
             flit.out_vc = flit.vc
             self.crosspoints[i][j].push(flit)
             self._occupied[j].add(i)

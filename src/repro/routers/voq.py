@@ -38,6 +38,11 @@ from .base import Router
 class VoqRouter(Router):
     """Input VOQ switch with centralized iSLIP matching (Section 8)."""
 
+    # VOQ sorting and the iSLIP match resolve within the same cycle, so
+    # the only observable stages are the base "RC" (arrival) and "ST"
+    # (matched flit starts crossing).
+    TRACE_STAGES = ("RC", "ST")
+
     def __init__(self, config: RouterConfig, iterations: int = 2) -> None:
         super().__init__(config)
         k, v = config.radix, config.num_vcs

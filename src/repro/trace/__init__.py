@@ -1,0 +1,54 @@
+"""Flit-lifecycle tracing and pipeline-stage observability.
+
+Built on the :class:`~repro.engine.hooks.EngineHooks` bus: the routers
+emit ``stage_enter`` / ``spec_outcome`` events (plus the pre-existing
+``flit_move`` / ``grant`` / ``credit`` stream) and this package turns
+them into
+
+* per-flit lifecycle records in a bounded ring buffer
+  (:class:`TraceCollector`, with :class:`TraceFilter` sampling);
+* Chrome trace-event JSON loadable in Perfetto
+  (:func:`dump_chrome_trace`, ``repro.cli trace --chrome out.json``);
+* a measured per-stage latency breakdown cross-checked against the
+  static pipeline tables (:func:`format_stage_breakdown`,
+  :func:`~repro.core.pipeline_diagram.measured_pipeline`);
+* channel/crosspoint utilization and speculation hit-rate counters
+  folded into ``RouterStats.extra`` (:meth:`TraceCollector.fold_stats`).
+
+Tracing is strictly opt-in: with no collector attached the hook lists
+stay empty and the emission guards cost a truthiness test.
+"""
+
+from .breakdown import (
+    StageSummary,
+    format_stage_breakdown,
+    stage_breakdown,
+    stage_spans,
+)
+from .chrome import (
+    chrome_trace_events,
+    chrome_trace_json,
+    dump_chrome_trace,
+    to_chrome_trace,
+)
+from .collector import (
+    COUNT_ONLY,
+    FlitTrace,
+    TraceCollector,
+    TraceFilter,
+)
+
+__all__ = [
+    "TraceCollector",
+    "TraceFilter",
+    "FlitTrace",
+    "COUNT_ONLY",
+    "stage_spans",
+    "stage_breakdown",
+    "StageSummary",
+    "format_stage_breakdown",
+    "chrome_trace_events",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "dump_chrome_trace",
+]

@@ -1,0 +1,149 @@
+"""Per-stage latency breakdown from measured flit lifecycles.
+
+Reconstructs the paper's pipeline diagrams (Figures 5(b) and 7) from
+*measured* simulation instead of the static
+:mod:`repro.core.pipeline_diagram` tables: stage spans are derived from
+the ``stage_enter`` timestamps each traced flit recorded, aggregated
+into per-stage count/mean/min/max statistics, and — when the
+architecture is known — cross-checked column-by-column against
+:func:`~repro.core.pipeline_diagram.measured_pipeline`'s expected
+zero-load spans.  The differential tests in ``tests/test_trace.py``
+pin the two against each other on contention-free runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.config import RouterConfig
+from ..core.pipeline_diagram import head_flit_latency, measured_pipeline
+from .collector import FlitTrace, TraceCollector
+
+
+def stage_spans(rec: FlitTrace) -> List[Tuple[str, int, int, int]]:
+    """(stage, start, end, port) spans for one completed flit.
+
+    A stage's span runs from its *first* entry to the first entry of
+    the next distinct stage (so speculative retries — repeated ``XB``
+    launches after a NACK, re-issued ``SA`` bids — count toward the
+    stage where the flit was waiting); the final stage ends at the
+    eject cycle.  Incomplete records yield no spans.
+    """
+    if rec.ejected_at is None:
+        return []
+    firsts: List[Tuple[str, int, int]] = []
+    seen = set()
+    for stage, cycle, port in rec.stages:
+        if stage not in seen:
+            seen.add(stage)
+            firsts.append((stage, cycle, port))
+    spans = []
+    for pos, (stage, start, port) in enumerate(firsts):
+        if pos + 1 < len(firsts):
+            end = firsts[pos + 1][1]
+        else:
+            end = rec.ejected_at
+        spans.append((stage, start, end, port))
+    return spans
+
+
+@dataclass(frozen=True)
+class StageSummary:
+    """Aggregate occupancy of one pipeline stage across traced flits."""
+
+    stage: str
+    count: int
+    mean: float
+    min: int
+    max: int
+
+
+RecordSource = Union[TraceCollector, Iterable[FlitTrace]]
+
+
+def _records_of(source: RecordSource) -> List[FlitTrace]:
+    if isinstance(source, TraceCollector):
+        return source.records(completed_only=True)
+    return [r for r in source if r.complete]
+
+
+def stage_breakdown(
+    source: RecordSource, stage_order: Sequence[str] = ()
+) -> List[StageSummary]:
+    """Per-stage span statistics over the completed records.
+
+    Stages are ordered by ``stage_order`` (e.g. a router's
+    ``TRACE_STAGES``) with unlisted stages appended in first-seen
+    order.
+    """
+    samples: Dict[str, List[int]] = {}
+    order: List[str] = list(stage_order)
+    for rec in _records_of(source):
+        for stage, start, end, _port in stage_spans(rec):
+            if stage not in samples:
+                samples[stage] = []
+                if stage not in order:
+                    order.append(stage)
+            samples[stage].append(end - start)
+    out = []
+    for stage in order:
+        spans = samples.get(stage)
+        if not spans:
+            continue
+        out.append(StageSummary(
+            stage=stage,
+            count=len(spans),
+            mean=sum(spans) / len(spans),
+            min=min(spans),
+            max=max(spans),
+        ))
+    return out
+
+
+def format_stage_breakdown(
+    source: RecordSource,
+    config: Optional[RouterConfig] = None,
+    architecture: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render the measured per-stage breakdown as an aligned table.
+
+    With ``config`` and ``architecture`` given, an extra ``zero-load``
+    column shows the expected contention-free span from
+    :func:`~repro.core.pipeline_diagram.measured_pipeline` — the
+    measured mean exceeding it is queueing/contention time, which is
+    exactly what the paper's pipeline-occupancy discussion is about.
+    """
+    from ..harness.report import format_table
+
+    expected: Dict[str, int] = {}
+    stage_order: Sequence[str] = ()
+    if config is not None and architecture is not None:
+        stages = measured_pipeline(config, architecture)
+        expected = {s.name: s.cycles for s in stages}
+        stage_order = [s.name for s in stages]
+    if isinstance(source, TraceCollector) and not stage_order:
+        stage_order = source.declared_stages
+    rows: List[Sequence[object]] = []
+    summaries = stage_breakdown(source, stage_order)
+    for s in summaries:
+        row: List[object] = [s.stage, s.count, s.mean, s.min, s.max]
+        if expected:
+            row.append(expected.get(s.stage, float("nan")))
+        rows.append(row)
+    headers = ["stage", "flits", "mean", "min", "max"]
+    if expected:
+        headers.append("zero-load")
+        recs = _records_of(source)
+        latencies = [r.latency for r in recs if r.latency is not None]
+        if latencies:
+            rows.append([
+                "total",
+                len(latencies),
+                sum(latencies) / len(latencies),
+                min(latencies),
+                max(latencies),
+                head_flit_latency(measured_pipeline(config, architecture)),
+            ])
+    return format_table(headers, rows, title=title)

@@ -107,6 +107,41 @@ class TestCommands:
         assert rc == 0
 
 
+class TestTraceCommand:
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        rc = main([
+            "trace", "--arch", "hierarchical", "--radix", "8",
+            "--subswitch", "4", "--load", "0.3", "--warmup", "100",
+            "--measure", "200", "--drain", "2000",
+            "--chrome", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # Stage breakdown with the zero-load reference column.
+        assert "zero-load" in out
+        for stage in ("RC", "ROW", "SUB", "ST"):
+            assert stage in out
+        assert "speculation subva" in out
+        assert "channel utilization" in out
+        # The Chrome trace on disk is valid trace-event JSON.
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert all(e["ph"] in ("X", "M") for e in doc["traceEvents"])
+
+    def test_trace_sampling_filter(self, capsys):
+        rc = main([
+            "trace", "--arch", "baseline", "--radix", "8",
+            "--subswitch", "4", "--load", "0.2", "--warmup", "100",
+            "--measure", "200", "--drain", "2000",
+            "--every-nth", "4", "--ports", "0,1",
+        ])
+        assert rc == 0
+        assert "traced flits" in capsys.readouterr().out
+
+
 class TestPipelineCommand:
     def test_pipeline_diagrams(self, capsys):
         rc = main(["pipeline", "--radix", "64"])

@@ -215,6 +215,35 @@ class TestActiveSetEquivalence:
         assert sched.component_steps < sched.cycles_run * len(sim.routers)
 
 
+class TestTraceDeterminism:
+    """The exported trace is a function of (config, seed) alone."""
+
+    def _chrome_bytes(self, active_set=True, seed=9):
+        from repro.core.flit import reset_packet_ids
+        from repro.trace import TraceCollector, chrome_trace_json
+
+        reset_packet_ids()
+        collector = TraceCollector()
+        sim = SwitchSimulation(
+            HierarchicalCrossbarRouter(SMALL), load=0.35, seed=seed,
+            active_set=active_set, tracer=collector,
+        )
+        sim.run(SETTINGS)
+        return chrome_trace_json(collector)
+
+    def test_same_seed_byte_identical(self):
+        assert self._chrome_bytes() == self._chrome_bytes()
+
+    def test_active_set_invisible_in_trace(self):
+        """Scheduler parking must not perturb one traced timestamp."""
+        parked = self._chrome_bytes(active_set=True)
+        exhaustive = self._chrome_bytes(active_set=False)
+        assert parked == exhaustive
+
+    def test_different_seeds_diverge(self):
+        assert self._chrome_bytes(seed=9) != self._chrome_bytes(seed=10)
+
+
 class TestStatsExtraSurviveAggregation:
     def test_bumped_counters_fold_into_result_extra(self):
         router = HierarchicalCrossbarRouter(SMALL)

@@ -1,4 +1,4 @@
-"""Unit tests for the repro.analysis lint pass (rules R001-R006).
+"""Unit tests for the repro.analysis lint pass (rules R001-R007).
 
 Each rule gets a positive fixture (the violation is found, with the
 right code and line), a negative fixture (idiomatic code stays clean),
@@ -25,7 +25,10 @@ from repro.analysis.rules.determinism import (
     DirectRandomRule,
     NondeterminismRule,
 )
-from repro.analysis.rules.engine_rules import ComputePhasePurityRule
+from repro.analysis.rules.engine_rules import (
+    ComputePhasePurityRule,
+    HookEmissionPhaseRule,
+)
 from repro.analysis.rules.structure import RouterSubclassRule
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -404,6 +407,102 @@ class TestComputePhasePurity:
             "class C:\n"
             "    def compute(self, cycle):\n"
             "        self.scratch = 1  # lint: disable=R006\n"
+            "    def commit(self, cycle):\n"
+            "        pass\n"
+        )
+        assert _lint(tmp_path, src, self.RULES) == []
+
+
+# ----------------------------------------------------------------------
+# R007: hook emission phase
+# ----------------------------------------------------------------------
+
+_EMIT_IN_COMPUTE = """\
+class ChattyComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self.hooks.emit_stage_enter(None, "RC", 0, cycle)
+
+    def commit(self, cycle):
+        pass
+"""
+
+_EMIT_IN_COMMIT = """\
+class QuietComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self._staged_ejects = ()
+
+    def commit(self, cycle):
+        for flit in self._staged_ejects:
+            self.hooks.emit_flit_move("eject", flit, 0, cycle)
+"""
+
+
+class TestHookEmissionPhase:
+    RULES = [HookEmissionPhaseRule()]
+
+    def test_emit_in_compute_flagged(self, tmp_path):
+        findings = _lint(tmp_path, _EMIT_IN_COMPUTE, self.RULES)
+        assert _codes(findings) == ["R007"]
+        assert "emit_stage_enter" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_emit_in_commit_clean(self, tmp_path):
+        assert _lint(tmp_path, _EMIT_IN_COMMIT, self.RULES) == []
+
+    def test_aliased_bus_still_flagged(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        hooks = self.hooks\n"
+            "        hooks.emit_grant(None, 0, cycle)\n"
+            "    def commit(self, cycle):\n"
+            "        pass\n"
+        )
+        findings = _lint(tmp_path, src, self.RULES)
+        assert _codes(findings) == ["R007"]
+        assert "emit_grant" in findings[0].message
+
+    def test_emit_in_compute_helper_not_flagged(self, tmp_path):
+        # R007 is syntactic, like R006: only the compute body is
+        # scanned, not helpers it calls (the runtime sanitizer covers
+        # dynamic escape hatches).
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        self._scan(cycle)\n"
+            "    def _scan(self, cycle):\n"
+            "        self.hooks.emit_credit(0, 0, cycle)\n"
+            "    def commit(self, cycle):\n"
+            "        pass\n"
+        )
+        assert _lint(tmp_path, src, self.RULES) == []
+
+    def test_class_without_commit_ignored(self, tmp_path):
+        src = (
+            "class NotAComponent:\n"
+            "    def compute(self, cycle):\n"
+            "        self.hooks.emit_cycle_start(cycle)\n"
+        )
+        assert _lint(tmp_path, src, self.RULES) == []
+
+    def test_non_emit_calls_clean(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        self._staged = self.pipe.pop_ready(cycle)\n"
+            "    def commit(self, cycle):\n"
+            "        pass\n"
+        )
+        assert _lint(tmp_path, src, self.RULES) == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        src = (
+            "class C:\n"
+            "    def compute(self, cycle):\n"
+            "        self.hooks.emit_cycle_start(cycle)  "
+            "# lint: disable=R007\n"
             "    def commit(self, cycle):\n"
             "        pass\n"
         )
