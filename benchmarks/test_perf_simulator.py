@@ -162,6 +162,99 @@ def test_perf_tracing_disabled_overhead(benchmark):
     )
 
 
+# ----------------------------------------------------------------------
+# Fault-injection overhead: the faults-disabled guards must be free
+# ----------------------------------------------------------------------
+
+#: Max fraction of run time the faults-disabled guards may cost.
+FAULTS_OVERHEAD_CEILING = 0.05
+
+
+def test_perf_faults_disabled_overhead(benchmark):
+    """With ``faults=None``, the repro.faults guards (``self._faults is
+    not None`` in the harness, the ``_stuck_inputs`` truthiness test in
+    router eligibility scans, ``drop_hook is not None`` in the credit
+    pipes) must cost <= 5% of the run.
+
+    Same analytic approach as the tracing bound above: an A/B
+    wall-clock comparison cannot resolve 5%, so the per-evaluation
+    cost of each disabled-guard shape is measured cold and multiplied
+    by a deliberately generous over-count of evaluations.
+    """
+    config = RouterConfig(radix=32)
+    cycles = 400
+
+    def run():
+        sim = SwitchSimulation(
+            HierarchicalCrossbarRouter(config), load=0.6, faults=None,
+        )
+        for _ in range(cycles):
+            sim.step()
+        return sim.router.stats.flits_ejected
+
+    delivered = benchmark.pedantic(run, rounds=ROUNDS, iterations=1)
+    assert delivered > 0
+    baseline, _ = _best_of(ROUNDS, run)
+
+    # Generous over-count of guard evaluations per cycle: the
+    # eligibility scan consults each (input, vc) stuck guard once per
+    # cycle (doubled for cushion), every input pays the harness
+    # injection guards, every credit delivery one drop_hook test, plus
+    # per-cycle harness checks.
+    scan_passes = 2
+    per_cycle = (
+        config.radix * config.num_vcs * scan_passes   # stuck guards
+        + config.radix * 3                            # inject + drop_hook
+        + 4                                           # step()-level
+    )
+    evals = cycles * per_cycle
+
+    # Per-evaluation cost of the two disabled-guard shapes, measured
+    # inline exactly as the hot paths spell them (the routers inline
+    # the stuck test rather than calling ``_input_stuck``, so no
+    # function-call overhead belongs in the bound); take the slower
+    # shape.
+    class _Host:
+        def __init__(self):
+            self.fault_injector = None
+            self.stuck = set()
+
+    host = _Host()
+    reps = 300_000
+    shape_costs = []
+
+    times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()  # lint: disable=R002
+        for _ in range(reps):
+            if host.fault_injector is not None:
+                pass  # pragma: no cover - guards are disabled
+        times.append(
+            (time.perf_counter() - start) / reps  # lint: disable=R002
+        )
+    shape_costs.append(min(times))
+
+    times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()  # lint: disable=R002
+        for _ in range(reps):
+            if host.stuck and (0, 0) in host.stuck:
+                pass  # pragma: no cover - guards are disabled
+        times.append(
+            (time.perf_counter() - start) / reps  # lint: disable=R002
+        )
+    shape_costs.append(min(times))
+
+    guard_cost = max(shape_costs) * evals
+
+    overhead = guard_cost / baseline
+    assert overhead <= FAULTS_OVERHEAD_CEILING, (
+        f"disabled-faults guards cost {overhead:.1%} of the run "
+        f"({evals} guard evaluations x {max(shape_costs) * 1e9:.0f}ns "
+        f"vs {baseline:.3f}s; ceiling {FAULTS_OVERHEAD_CEILING:.0%})"
+    )
+
+
 def test_perf_active_set_radix64_low_load(benchmark):
     """Radix-64 switch at low load: parking must pay >= 1.5x."""
     def run(active_set):

@@ -319,6 +319,21 @@ class SimSanitizer(CheckedRouter):
             self._check_hierarchical_credits(router, cycle, entries)
 
     @staticmethod
+    def _injector_sinks(router: Router) -> List:
+        """Credits held by a fault injector awaiting resync.
+
+        An injected credit loss leaves the counter un-restored while
+        the flit is long gone from the downstream buffer; the injector's
+        ledger is the missing ``held`` term, so counting it keeps the
+        conservation equality exact under injected loss (a *real* leak
+        still trips the check).
+        """
+        injector = getattr(router, "fault_injector", None)
+        if injector is None:
+            return []
+        return injector.pending_credit_sinks()
+
+    @staticmethod
     def _pending_restores(sinks) -> Dict[int, int]:
         """Bucket in-flight ``counter.restore`` callbacks by counter."""
         pending: Dict[int, int] = {}
@@ -394,6 +409,7 @@ class SimSanitizer(CheckedRouter):
         elif router._credit_buses is not None:
             for bus in router._credit_buses:
                 sinks.extend(bus.pending_sinks())
+        sinks.extend(self._injector_sinks(router))
         pending = self._pending_restores(sinks)
         self._scan_credits(
             entries, inflight, pending, cycle,
@@ -422,7 +438,9 @@ class SimSanitizer(CheckedRouter):
         inflight: Dict[int, int] = {}
         for flit, i, col in router._to_sub.items():
             _bucket(inflight, (i * router.num_sub + col) * v + flit.vc)
-        pending = self._pending_restores(router._credit_pipe.pending_sinks())
+        sinks = router._credit_pipe.pending_sinks()
+        sinks.extend(self._injector_sinks(router))
+        pending = self._pending_restores(sinks)
         self._scan_credits(
             entries, inflight, pending, cycle,
             lambda i, col: f"subswitch input buffer (input {i}, "
@@ -499,6 +517,15 @@ class NetworkSanitizer:
         pending: Dict[Tuple[int, int], int] = {}
         for router in sim.routers.values():
             for sink, vc in router._credit_out.items():
+                link = getattr(sink, "link", None)
+                if link is not None:
+                    _bucket(pending, (id(link), vc))
+        # Credits claimed by the fault injector count as in flight until
+        # the resync timeout re-delivers them (injected loss must not
+        # read as a leak; a real leak still trips the check).
+        injector = getattr(sim, "_faults", None)
+        if injector is not None:
+            for sink, vc in injector.pending_credits():
                 link = getattr(sink, "link", None)
                 if link is not None:
                     _bucket(pending, (id(link), vc))

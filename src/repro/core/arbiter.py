@@ -224,10 +224,7 @@ class MultiStageArbiter:
             group_reqs = requests[base : base + local.size]
             local_winners.append(local.arbitrate(group_reqs, advance=False))
         group_requests = [w is not None for w in local_winners]
-        if isinstance(self._upper, RoundRobinArbiter):
-            winning_group = self._upper.arbitrate(group_requests)
-        else:
-            winning_group = self._upper.arbitrate(group_requests)
+        winning_group = self._upper.arbitrate(group_requests)
         if winning_group is None:
             return None
         local_idx = local_winners[winning_group]

@@ -21,15 +21,22 @@ from typing import Callable, Deque, List, Tuple
 
 
 class CreditCounter:
-    """Free-slot counter for one downstream buffer, kept at the sender."""
+    """Free-slot counter for one downstream buffer, kept at the sender.
 
-    __slots__ = ("capacity", "_free")
+    ``stuck`` models a fault: a stuck downstream buffer stops accepting
+    new flits, which at the sender looks exactly like running out of
+    credits.  Flits already buffered downstream still drain (credits
+    still ``restore``), so conservation invariants are untouched.
+    """
+
+    __slots__ = ("capacity", "_free", "stuck")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._free = capacity
+        self.stuck = False
 
     @property
     def free(self) -> int:
@@ -37,7 +44,7 @@ class CreditCounter:
 
     @property
     def available(self) -> bool:
-        return self._free > 0
+        return self._free > 0 and not self.stuck
 
     def consume(self) -> None:
         """Spend one credit (a flit was sent downstream)."""
@@ -59,15 +66,21 @@ class DelayedCreditPipe:
 
     Used for the idealized dedicated-wire credit return of Section 5.2
     and for inter-router credits in the network simulator.
+
+    ``drop_hook`` is the fault-injection tap: when set, it is called
+    with each sink about to be delivered and may claim it by returning
+    True — the credit is then *lost* on the wire (the hook owns it and
+    is responsible for eventual resync).  Default None: zero-cost path.
     """
 
-    __slots__ = ("latency", "_inflight")
+    __slots__ = ("latency", "_inflight", "drop_hook")
 
     def __init__(self, latency: int) -> None:
         if latency < 0:
             raise ValueError(f"latency must be >= 0, got {latency}")
         self.latency = latency
         self._inflight: Deque[Tuple[int, Callable[[], None]]] = deque()
+        self.drop_hook: "Callable[[Callable[[], None]], bool] | None" = None
 
     def send(self, now: int, sink: Callable[[], None]) -> None:
         """Schedule ``sink()`` to fire ``latency`` cycles from ``now``."""
@@ -78,6 +91,8 @@ class DelayedCreditPipe:
         fired = 0
         while self._inflight and self._inflight[0][0] <= now:
             _, sink = self._inflight.popleft()
+            if self.drop_hook is not None and self.drop_hook(sink):
+                continue
             sink()
             fired += 1
         return fired
@@ -105,6 +120,13 @@ class CreditReturnBus:
     def __init__(self, num_sources: int, latency: int = 1) -> None:
         if num_sources < 1:
             raise ValueError(f"num_sources must be >= 1, got {num_sources}")
+        if latency < 1:
+            # A zero-latency bus would deliver a credit inside the same
+            # step() that granted it the bus, violating the two-phase
+            # contract (decisions this cycle would see this cycle's
+            # arbitration).  Dedicated wires with latency 0 are modeled
+            # by DelayedCreditPipe instead.
+            raise ValueError(f"bus latency must be >= 1, got {latency}")
         self.num_sources = num_sources
         self.latency = latency
         # _pending[s] holds callbacks waiting at source s for the bus.
@@ -117,6 +139,15 @@ class CreditReturnBus:
     def post(self, source: int, sink: Callable[[], None]) -> None:
         """Queue a credit at crosspoint ``source`` for bus arbitration."""
         self._pending[source].append(sink)
+
+    @property
+    def drop_hook(self):
+        """Fault tap on the bus wire (see DelayedCreditPipe.drop_hook)."""
+        return self._pipe.drop_hook
+
+    @drop_hook.setter
+    def drop_hook(self, hook) -> None:
+        self._pipe.drop_hook = hook
 
     def step(self, now: int) -> None:
         """One cycle: grant the bus to one source, deliver due credits."""

@@ -36,6 +36,16 @@ Event signatures:
                         a speculative allocation of ``kind`` (``"cva"``,
                         ``"ova"``, ``"xpva"``, ``"subva"``) resolved as
                         a hit (``hit=True``) or was killed/NACKed
+``fault_inject(kind, where, cycle)``
+                        the fault injector applied a fault of ``kind``
+                        (``"corrupt"``, ``"credit_loss"``, ``"stuck"``,
+                        ``"link_down"``) at location ``where`` (a small
+                        tuple of stable indices, e.g. ``(port,)`` or
+                        ``(port, vc)``)
+``fault_recover(kind, where, cycle)``
+                        a fault was recovered from: ``kind`` is
+                        ``"retransmit"``, ``"credit_resync"``,
+                        ``"unstuck"`` or ``"link_up"``
 ======================  ================================================
 
 All emissions happen during the commit phase (or in externally driven
@@ -53,7 +63,7 @@ class EngineHooks:
 
     __slots__ = (
         "cycle_start", "cycle_end", "flit_move", "grant", "credit",
-        "stage_enter", "spec_outcome",
+        "stage_enter", "spec_outcome", "fault_inject", "fault_recover",
     )
 
     def __init__(self) -> None:
@@ -64,6 +74,8 @@ class EngineHooks:
         self.credit: List[Callable] = []
         self.stage_enter: List[Callable] = []
         self.spec_outcome: List[Callable] = []
+        self.fault_inject: List[Callable] = []
+        self.fault_recover: List[Callable] = []
 
     def on_cycle_start(self, fn: Callable) -> Callable:
         self.cycle_start.append(fn)
@@ -91,6 +103,14 @@ class EngineHooks:
 
     def on_spec_outcome(self, fn: Callable) -> Callable:
         self.spec_outcome.append(fn)
+        return fn
+
+    def on_fault_inject(self, fn: Callable) -> Callable:
+        self.fault_inject.append(fn)
+        return fn
+
+    def on_fault_recover(self, fn: Callable) -> Callable:
+        self.fault_recover.append(fn)
         return fn
 
     def emit_cycle_start(self, cycle: int) -> None:
@@ -122,3 +142,11 @@ class EngineHooks:
                           cycle: int) -> None:
         for fn in self.spec_outcome:
             fn(kind, hit, port, cycle)
+
+    def emit_fault_inject(self, kind: str, where, cycle: int) -> None:
+        for fn in self.fault_inject:
+            fn(kind, where, cycle)
+
+    def emit_fault_recover(self, kind: str, where, cycle: int) -> None:
+        for fn in self.fault_recover:
+            fn(kind, where, cycle)

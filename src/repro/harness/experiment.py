@@ -68,7 +68,14 @@ class SwitchSimulation:
         sanitize: bool = False,
         active_set: bool = True,
         tracer=None,
+        faults=None,
     ) -> None:
+        """``faults`` is an optional :class:`~repro.faults.FaultPlan`:
+        when set (and enabled) a
+        :class:`~repro.faults.SwitchFaultInjector` drives host-channel
+        corruption with retransmission, credit loss with resync, and
+        the plan's stuck-buffer schedule.  None — or a disabled plan —
+        leaves the simulation byte-identical to a plain run."""
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
         if sanitize:
@@ -114,6 +121,18 @@ class SwitchSimulation:
             self.sources.append(
                 TrafficSource(i, pattern, proc, packet_size, seed)
             )
+        if faults is not None and faults.enabled:
+            # Imported lazily: the faults layer sits above the harness.
+            from ..faults import SwitchFaultInjector
+
+            self._faults: Optional[SwitchFaultInjector] = (
+                SwitchFaultInjector(faults, self._engine, seed)
+            )
+            # The sanitizer reads the injector's lost-credit ledger
+            # through this handle when balancing the credit books.
+            self._engine.fault_injector = self._faults
+        else:
+            self._faults = None
         k = self.config.radix
         self._next_inject = [0] * k
         self._packet_vc: List[Optional[int]] = [None] * k
@@ -136,6 +155,10 @@ class SwitchSimulation:
     def step(self) -> None:
         """One simulation cycle: generate, inject, switch, collect."""
         now = self.cycle
+        if self._faults is not None:
+            # Apply scheduled stuck faults and deliver due credit
+            # resyncs before anything else observes this cycle.
+            self._faults.advance(now)
         if self._generating:
             for src in self.sources:
                 if (
@@ -165,8 +188,11 @@ class SwitchSimulation:
         """
         fc = self.config.flit_cycles
         v = self.config.num_vcs
+        faults = self._faults
         for i, src in enumerate(self.sources):
             if now < self._next_inject[i]:
+                continue
+            if faults is not None and not faults.channel_ready(i, now):
                 continue
             flit = src.head()
             if flit is None:
@@ -182,6 +208,14 @@ class SwitchSimulation:
             if self.router.input_space(i, vc) < 1:
                 continue
             flit.vc = vc
+            if faults is not None and not faults.attempt_transmit(
+                i, flit, now
+            ):
+                # Corrupted on the wire: the receiver's CRC check drops
+                # it, the sender keeps it queued for retransmission.
+                # The corrupted transmission still occupied the channel.
+                self._next_inject[i] = now + fc
+                continue
             src.pop()
             # Wake a parked router *before* accept so the flit's
             # injection timestamp uses the current cycle.

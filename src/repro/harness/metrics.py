@@ -97,6 +97,11 @@ class MetricsCollector:
         self.output_flits = [0] * num_ports
         self.backlog_samples: List[int] = []
         self.occupancy_samples: List[int] = []
+        #: Fault-injection / recovery counts by kind (see
+        #: :mod:`repro.faults`), fed by the ``fault_inject`` and
+        #: ``fault_recover`` hook events when attached.
+        self.fault_injects: Dict[str, int] = {}
+        self.fault_recovers: Dict[str, int] = {}
         self._cycles = 0
         self._seen = 0
         self._sim = None  # set by attach()
@@ -117,12 +122,20 @@ class MetricsCollector:
         sim.hooks.on_flit_move(self._on_flit_move)
         self._sim = sim
         sim.hooks.on_cycle_end(self._on_cycle_end)
+        sim.hooks.on_fault_inject(self._on_fault_inject)
+        sim.hooks.on_fault_recover(self._on_fault_recover)
         return self
 
     def _on_flit_move(self, kind: str, flit: Flit, port: int,
                       cycle: int) -> None:
         if kind == "eject":
             self.observe_delivery(flit, cycle)
+
+    def _on_fault_inject(self, kind: str, where, cycle: int) -> None:
+        self.fault_injects[kind] = self.fault_injects.get(kind, 0) + 1
+
+    def _on_fault_recover(self, kind: str, where, cycle: int) -> None:
+        self.fault_recovers[kind] = self.fault_recovers.get(kind, 0) + 1
 
     def _on_cycle_end(self, cycle: int) -> None:
         sim = self._sim
@@ -208,8 +221,19 @@ class MetricsCollector:
             f"load imbalance:    {self.load_imbalance():.2f}",
             f"mean src backlog:  {self.mean_backlog():.1f} flits",
             f"mean occupancy:    {self.mean_occupancy():.1f} flits",
-            "latency histogram (cycles):",
         ]
+        if self.fault_injects or self.fault_recovers:
+            injected = ", ".join(
+                f"{k}={self.fault_injects[k]}"
+                for k in sorted(self.fault_injects)
+            ) or "none"
+            recovered = ", ".join(
+                f"{k}={self.fault_recovers[k]}"
+                for k in sorted(self.fault_recovers)
+            ) or "none"
+            lines.append(f"faults injected:   {injected}")
+            lines.append(f"faults recovered:  {recovered}")
+        lines.append("latency histogram (cycles):")
         for lo, hi, count in self.latency.rows():
             bar = "#" * max(1, round(40 * count / max(1, self.latency.total)))
             lines.append(f"  [{lo:>7.0f}, {hi:>7.0f})  {count:>6}  {bar}")

@@ -78,9 +78,13 @@ def run_load_sweep_parallel(
 
     Args:
         processes: Pool size; defaults to ``min(len(loads), cpu_count)``.
-            With ``processes=1`` the pool is skipped entirely (useful
-            under profilers and debuggers).
+            Must be >= 1 when given (``processes=0`` used to fall back
+            to the default silently, masking caller bugs).  With
+            ``processes=1`` the pool is skipped entirely (useful under
+            profilers and debuggers).
     """
+    if processes is not None and processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
     settings = settings or SweepSettings()
     jobs = [
         (

@@ -10,8 +10,9 @@ rendered form, these JSON files are the raw one.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from .experiment import SweepResult
 from .stats import RunResult
@@ -20,12 +21,29 @@ from .stats import RunResult
 FORMAT_VERSION = 1
 
 
+def _finite_or_none(value: float) -> Optional[float]:
+    """Map NaN/inf to None so the JSON stays standard-compliant.
+
+    Empty-sample runs report ``avg_latency = nan``; ``json.dump``
+    would happily serialize that as the bare token ``NaN``, which is
+    not valid JSON and breaks strict parsers.  ``null`` round-trips.
+    """
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+def _none_to_nan(value: Optional[float]) -> float:
+    """Inverse of :func:`_finite_or_none` for the read path."""
+    return float("nan") if value is None else value
+
+
 def result_to_dict(result: RunResult) -> Dict:
     """Serialize one RunResult to plain JSON-compatible types."""
     return {
         "offered_load": result.offered_load,
-        "avg_latency": result.avg_latency,
-        "p99_latency": result.p99_latency,
+        "avg_latency": _finite_or_none(result.avg_latency),
+        "p99_latency": _finite_or_none(result.p99_latency),
         "max_latency": result.max_latency,
         "throughput": result.throughput,
         "packets_measured": result.packets_measured,
@@ -39,8 +57,8 @@ def result_from_dict(data: Dict) -> RunResult:
     """Inverse of :func:`result_to_dict`."""
     return RunResult(
         offered_load=data["offered_load"],
-        avg_latency=data["avg_latency"],
-        p99_latency=data["p99_latency"],
+        avg_latency=_none_to_nan(data["avg_latency"]),
+        p99_latency=_none_to_nan(data["p99_latency"]),
         max_latency=data["max_latency"],
         throughput=data["throughput"],
         packets_measured=data["packets_measured"],
@@ -75,7 +93,11 @@ def save_sweeps(
         "metadata": metadata or {},
         "sweeps": [sweep_to_dict(s) for s in sweeps],
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    # allow_nan=False makes any non-finite float that slips past
+    # result_to_dict a loud error instead of invalid JSON on disk.
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    )
 
 
 def load_sweeps(path: Union[str, Path]) -> List[SweepResult]:

@@ -64,7 +64,10 @@ class LatencySample:
 
         Splits the sample into ``batches`` consecutive batches and uses
         the batch means' standard error; returns ``inf`` when there is
-        not enough data.
+        not enough data.  When ``n`` is not a multiple of ``batches``
+        the remainder observations are folded into the final batch so
+        every sample contributes (dropping the tail would bias the
+        estimate toward the early, possibly unconverged, observations).
         """
         if confidence not in _Z_VALUES:
             raise ValueError(
@@ -77,7 +80,10 @@ class LatencySample:
         size = n // batches
         means = []
         for b in range(batches):
-            chunk = self.latencies[b * size : (b + 1) * size]
+            if b == batches - 1:
+                chunk = self.latencies[b * size :]
+            else:
+                chunk = self.latencies[b * size : (b + 1) * size]
             means.append(sum(chunk) / len(chunk))
         grand = sum(means) / batches
         var = sum((m - grand) ** 2 for m in means) / (batches - 1)

@@ -186,6 +186,54 @@ class Mesh:
         ports.append(dst_ref.port)
         return ports
 
+    def route_avoiding(
+        self,
+        src_host: int,
+        dst_host: int,
+        rng: Rng,
+        link_ok,
+    ) -> "List[int] | None":
+        """A dimension-order route using only links ``link_ok`` approves.
+
+        Tries every permutation of the dimension correction order (in a
+        fixed deterministic sequence — ``rng`` is unused, like
+        :meth:`route`) and returns the first whose links are all
+        approved, or None when no permutation works.  Best-effort:
+        mixing dimension orders across packets forfeits the e-cube
+        deadlock-freedom argument, so fault experiments that need a
+        deadlock-free guarantee should run on the Clos topology.
+        """
+        import itertools
+
+        src = self.host_attachment(src_host).switch
+        dst_ref = self.host_attachment(dst_host)
+        dst = dst_ref.switch
+        invariant(src is not None and dst is not None,
+                  "host attaches to no switch", check="topology")
+        for order in itertools.permutations(range(self.n)):
+            ports: List[int] = []
+            current = list(src)
+            ok = True
+            for d in order:
+                while ok and current[d] != dst[d]:
+                    if current[d] < dst[d]:
+                        port = 2 * d
+                        step = 1
+                    else:
+                        port = 2 * d + 1
+                        step = -1
+                    if not link_ok(tuple(current), port):
+                        ok = False
+                        break
+                    ports.append(port)
+                    current[d] += step
+                if not ok:
+                    break
+            if ok and link_ok(tuple(current), dst_ref.port):
+                ports.append(dst_ref.port)
+                return ports
+        return None
+
     def average_hop_count(self) -> float:
         """Expected routers traversed under uniform random traffic."""
         total = 0.0

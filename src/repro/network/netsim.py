@@ -68,6 +68,7 @@ class NetworkSimulation:
         host_pattern: Optional[object] = None,
         sanitize: bool = False,
         active_set: bool = True,
+        faults: Optional[object] = None,
     ) -> None:
         """Args:
             config: Router/channel parameters (``radix``/``levels`` are
@@ -86,6 +87,13 @@ class NetworkSimulation:
                 pending credits) and skip them until a flit arrival
                 wakes them.  Byte-identical to stepping everything;
                 False forces the exhaustive reference schedule.
+            faults: Optional :class:`~repro.faults.FaultPlan`.  When
+                set (and enabled), a
+                :class:`~repro.faults.NetworkFaultInjector` drives
+                host-channel corruption, inter-router credit loss with
+                resync, and the scheduled dead-link faults; routing
+                avoids dead links.  None (or a disabled plan) keeps
+                the simulation byte-identical to a plain run.
         """
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -120,6 +128,15 @@ class NetworkSimulation:
         # Global in-flight flit event queue: (arrival, seq, flit, target).
         self._inflight: List[Tuple[int, int, Flit, object]] = []
         self._seq = itertools.count()
+        if faults is not None and faults.enabled:
+            # Imported lazily: faults sits above the network layer.
+            from ..faults import NetworkFaultInjector
+
+            self._faults: Optional[NetworkFaultInjector] = (
+                NetworkFaultInjector(faults, self, config.seed)
+            )
+        else:
+            self._faults = None
         if sanitize:
             # Imported lazily: analysis sits above the network layer.
             from ..analysis.sanitizer import NetworkSanitizer
@@ -195,6 +212,10 @@ class NetworkSimulation:
 
     def step(self) -> None:
         now = self.cycle
+        if self._faults is not None:
+            # Apply scheduled link faults and deliver due credit
+            # resyncs before anything else observes this cycle.
+            self._faults.advance(now)
         self._deliver_arrivals(now)
         self._generate(now)
         self._inject(now)
@@ -228,7 +249,12 @@ class NetworkSimulation:
                 dest = rng.randrange(self.topology.num_hosts)
             else:
                 dest = self._host_pattern.dest(host, rng)
-            route = self.topology.route(host, dest, self._route_rng)
+            if self._faults is not None:
+                route = self._faults.route(
+                    self.topology, host, dest, self._route_rng
+                )
+            else:
+                route = self.topology.route(host, dest, self._route_rng)
             flits = make_packet(
                 dest=dest,
                 size=self.config.packet_size,
@@ -244,8 +270,11 @@ class NetworkSimulation:
 
     def _inject(self, now: int) -> None:
         topo = self.topology
+        faults = self._faults
         for host in range(topo.num_hosts):
             if now < self._next_inject[host] or not self._source_q[host]:
+                continue
+            if faults is not None and not faults.channel_ready(host, now):
                 continue
             flit = self._source_q[host][0]
             attach = topo.host_attachment(host)
@@ -264,6 +293,14 @@ class NetworkSimulation:
             if router.input_space(attach.port, vc) < 1:
                 continue
             flit.vc = vc
+            if faults is not None and not faults.attempt_transmit(
+                host, flit, now
+            ):
+                # Corrupted on the wire: the receiver's CRC check drops
+                # it, the sender keeps it queued for retransmission.
+                # The corrupted transmission still occupied the channel.
+                self._next_inject[host] = now + self.config.flit_cycles
+                continue
             self._source_q[host].pop(0)
             self._scheduler.wake(router, now)
             router.accept(attach.port, flit)
@@ -306,7 +343,7 @@ class NetworkSimulation:
             if self._labeled_total == 0
             else 1.0 - self._outstanding / self._labeled_total
         )
-        return summarize(
+        result = summarize(
             offered_load=self.load,
             sample=self.sample,
             measured_flits=self.measured_flits,
@@ -316,6 +353,12 @@ class NetworkSimulation:
             saturated=frac < 0.999,
             cycles=self.cycle,
         )
+        if self._faults is not None:
+            for name in sorted(self._faults.counters):
+                result.extra[f"stats.{name}"] = float(
+                    self._faults.counters[name]
+                )
+        return result
 
 
 class ClosNetworkSimulation(NetworkSimulation):
@@ -327,8 +370,10 @@ class ClosNetworkSimulation(NetworkSimulation):
         load: float,
         sanitize: bool = False,
         active_set: bool = True,
+        faults: Optional[object] = None,
     ) -> None:
-        super().__init__(config, load, sanitize=sanitize, active_set=active_set)
+        super().__init__(config, load, sanitize=sanitize,
+                         active_set=active_set, faults=faults)
 
 
 def run_network_sweep(

@@ -75,9 +75,15 @@ def pipeline_depth_for_radix(radix: int, base: int = 2) -> int:
 
 
 class OutputLink:
-    """One router output port: where it leads and its flow-control state."""
+    """One router output port: where it leads and its flow-control state.
 
-    __slots__ = ("deliver", "space", "vc_state", "credits", "is_host")
+    ``alive`` models link failure (repro.faults): a dead link stops
+    transmitting — flits queued toward it simply wait — until the fault
+    schedule brings it back up.
+    """
+
+    __slots__ = ("deliver", "space", "vc_state", "credits", "is_host",
+                 "alive")
 
     def __init__(
         self,
@@ -88,6 +94,7 @@ class OutputLink:
         self.deliver = deliver
         self.vc_state = OutputVcState(num_vcs)
         self.is_host = downstream_depth is None
+        self.alive = True
         if downstream_depth is None:
             self.credits: Optional[List[CreditCounter]] = None
         else:
@@ -146,6 +153,11 @@ class NetworkRouter(Component):
         self._resident = 0
         self._staged_credits: tuple = ()
         self._staged_releases: tuple = ()
+        # Fault machinery (repro.faults): wedged input read ports and
+        # the NetworkFaultInjector that may claim committed credit
+        # deliveries.  Inert (one None/empty-set test) without a plan.
+        self._stuck_inputs: set = set()
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
 
@@ -181,7 +193,10 @@ class NetworkRouter(Component):
     def commit(self, cycle: int) -> None:
         """Phase 2: apply credits/releases, then allocate and transmit."""
         hooks = self.hooks
+        inj = self.fault_injector
         for sink, vc in self._staged_credits:
+            if inj is not None and inj.drop_credit(self, sink, vc, cycle):
+                continue
             sink(vc)
             if hooks.credit:
                 hooks.emit_credit(-1, vc, cycle)
@@ -242,6 +257,8 @@ class NetworkRouter(Component):
             self._transmit(winner, vc, flit, out)
 
     def _candidate(self, i: int, vc: int) -> Optional[Flit]:
+        if self._stuck_inputs and (i, vc) in self._stuck_inputs:
+            return None
         flit = self.inputs[i][vc].head()
         if flit is None:
             return None
@@ -253,6 +270,8 @@ class NetworkRouter(Component):
         link = self.links[out]
         if link is None:
             raise RuntimeError(f"{self.name}: output {out} not attached")
+        if not link.alive:
+            return None
         if not link.credit_available(flit.vc):
             return None
         state = link.vc_state

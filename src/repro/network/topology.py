@@ -204,6 +204,57 @@ class FoldedClos:
             switch = nxt.switch
         return ports
 
+    def route_avoiding(
+        self,
+        src_host: int,
+        dst_host: int,
+        rng: Rng,
+        link_ok,
+        max_tries: int = 16,
+    ) -> Optional[List[int]]:
+        """A minimal route using only links ``link_ok`` approves.
+
+        ``link_ok(switch_id, port)`` vets each directed hop.  The
+        ascent chooses uniformly among the *approved* up ports (the
+        path diversity of the Clos is exactly what graceful degradation
+        leans on); because the descent from a given middle switch is
+        unique, a dead down-link can only be avoided by re-rolling the
+        ascent — hence up to ``max_tries`` whole-path attempts.
+        Returns None when no approved path was found (the caller
+        decides whether to fall back to a blind route).
+        """
+        lca = self.lca_level(src_host, dst_host)
+        m = self.m
+        start = self.host_attachment(src_host).switch
+        invariant(start is not None, "host attaches to no switch",
+                  check="topology")
+        for _ in range(max_tries):
+            ports: List[int] = []
+            switch = start
+            ok = True
+            for _ in range(lca):
+                allowed = [
+                    m + u for u in range(m) if link_ok(switch, m + u)
+                ]
+                if not allowed:
+                    ok = False
+                    break
+                port = allowed[rng.randrange(len(allowed))]
+                ports.append(port)
+                switch = self.up_neighbor(switch, port).switch
+            if not ok:
+                continue
+            for level in range(lca, -1, -1):
+                port = (dst_host // (m ** level)) % m
+                if not link_ok(switch, port):
+                    ok = False
+                    break
+                ports.append(port)
+                switch = self.down_neighbor(switch, port).switch
+            if ok:
+                return ports
+        return None
+
     def average_hop_count(self) -> float:
         """Expected routers traversed under uniform random traffic."""
         m, n = self.m, self.num_hosts
@@ -231,6 +282,12 @@ class Topology:
       (a switch port, or a host when ``switch is None``);
     * ``host_attachment(host)`` — the switch port a host injects into;
     * ``route(src_host, dst_host, rng)`` — output ports of a path.
+
+    Optionally, ``route_avoiding(src, dst, rng, link_ok)`` returns a
+    path using only links the ``link_ok(switch, port)`` predicate
+    approves (or None) — the fault injector
+    (:mod:`repro.faults`) uses it to reroute around dead links and
+    falls back to re-rolling ``route`` when it is absent.
 
     :class:`FoldedClos` and :class:`~repro.network.mesh.Mesh` both
     satisfy this protocol (duck-typed; this class exists for

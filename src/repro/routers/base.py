@@ -106,6 +106,11 @@ class Router(Component):
         self._in_active: Union[List[bool], AlwaysActive] = [False] * k
         self._staged_ejects: Sequence[Tuple[Flit, int]] = ()
         self._staged_releases: Sequence[Tuple[int, int, int]] = ()
+        # Fault machinery (repro.faults): wedged input read ports, and
+        # the injector handle the sanitizer consults for lost-credit
+        # accounting.  Both stay inert unless a FaultPlan is attached.
+        self._stuck_inputs: set = set()
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # External interface
@@ -195,6 +200,32 @@ class Router(Component):
         """Clear the activity flag if input bank ``port`` just drained."""
         if not self.inputs[port]:
             self._in_active[port] = False
+
+    # ------------------------------------------------------------------
+    # Fault support (repro.faults)
+    # ------------------------------------------------------------------
+
+    def stick_input(self, port: int, vc: Optional[int] = None) -> None:
+        """Wedge the read port of input buffer (port, vc): its flits
+        stop draining until :meth:`unstick_input`.  ``vc=None`` wedges
+        every VC of the port.  Flits stay buffered (and counted), so
+        conservation invariants are unaffected."""
+        vcs = range(self.config.num_vcs) if vc is None else (vc,)
+        for v in vcs:
+            self._stuck_inputs.add((port, v))
+
+    def unstick_input(self, port: int, vc: Optional[int] = None) -> None:
+        """Clear a :meth:`stick_input` fault."""
+        vcs = range(self.config.num_vcs) if vc is None else (vc,)
+        for v in vcs:
+            self._stuck_inputs.discard((port, v))
+
+    def _input_stuck(self, port: int, vc: int) -> bool:
+        """Stuck-lane predicate.  Eligibility scans inline this test
+        (``self._stuck_inputs and (i, vc) in self._stuck_inputs``) to
+        keep the fault-free cost at one set-truthiness check; the
+        method form exists for injectors and tests."""
+        return bool(self._stuck_inputs) and (port, vc) in self._stuck_inputs
 
     def _start_traversal(
         self, flit: Flit, out_port: int, start: Optional[int] = None

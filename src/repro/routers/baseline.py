@@ -83,6 +83,8 @@ class BaselineRouter(Router):
 
     def _eligible(self, i: int, vc: int) -> Optional[Flit]:
         """The head-of-queue flit of (i, vc) if it may bid this cycle."""
+        if self._stuck_inputs and (i, vc) in self._stuck_inputs:
+            return None
         flit = self.inputs[i][vc].head()
         if flit is None:
             return None

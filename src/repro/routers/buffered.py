@@ -143,6 +143,8 @@ class BufferedCrossbarRouter(Router):
 
     def _sendable(self, i: int, vc: int) -> Optional[Flit]:
         """Head-of-queue flit of (i, vc) if a crosspoint credit exists."""
+        if self._stuck_inputs and (i, vc) in self._stuck_inputs:
+            return None
         flit = self.inputs[i][vc].head()
         if flit is None:
             return None

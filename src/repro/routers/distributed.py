@@ -149,6 +149,8 @@ class DistributedRouter(Router):
 
     def _candidate(self, i: int, vc: int) -> Optional[_Request]:
         """Build the request (i, vc) would issue, or None if ineligible."""
+        if self._stuck_inputs and (i, vc) in self._stuck_inputs:
+            return None
         flit = self.inputs[i][vc].head()
         if flit is None:
             return None

@@ -162,6 +162,8 @@ class HierarchicalCrossbarRouter(Router):
                 self.hooks.emit_stage_enter(flit, "ROW", i, now)
 
     def _sendable(self, i: int, vc: int) -> Optional[Flit]:
+        if self._stuck_inputs and (i, vc) in self._stuck_inputs:
+            return None
         flit = self.inputs[i][vc].head()
         if flit is None:
             return None

@@ -123,6 +123,8 @@ class SharedBufferCrossbarRouter(Router):
                 self.hooks.emit_stage_enter(flit, "XB", flit.dest, now)
 
     def _sendable(self, i: int, vc: int) -> Optional[Flit]:
+        if self._stuck_inputs and (i, vc) in self._stuck_inputs:
+            return None
         if self._awaiting[i][vc]:
             return None
         flit = self.inputs[i][vc].head()

@@ -69,6 +69,8 @@ class VoqRouter(Router):
             if not self._in_active[i]:
                 continue
             for vc in range(self.config.num_vcs):
+                if self._stuck_inputs and (i, vc) in self._stuck_inputs:
+                    continue
                 queue = self.inputs[i][vc]
                 while queue:
                     flit = queue.head()

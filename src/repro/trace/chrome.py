@@ -11,7 +11,11 @@ Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
   spent in the stage (one simulated cycle is rendered as 1 µs, the
   trace format's native unit);
 * packet id, flit index, and VC ride in ``args`` so Perfetto's query
-  engine can slice by them.
+  engine can slice by them;
+* fault injections and recoveries (the collector's ``fault_events``
+  log, see :mod:`repro.faults`) become ``"i"`` (instant) events on a
+  dedicated ``faults`` track so degradation windows line up visually
+  with the flit spans they perturb.
 
 The output is deterministic: events are emitted in a canonical sort
 order and serialized with sorted keys, so identical seeds produce
@@ -25,6 +29,10 @@ from typing import IO, Dict, List, Tuple, Union
 
 from .breakdown import stage_spans
 from .collector import TraceCollector
+
+#: The fault track lives under its own pid so its tid can never
+#: collide with the (port, stage) track ids under pid 0.
+FAULT_PID = 1
 
 
 def chrome_trace_events(collector: TraceCollector) -> List[dict]:
@@ -69,7 +77,45 @@ def chrome_trace_events(collector: TraceCollector) -> List[dict]:
             "tid": tid,
             "args": {"name": f"port {port} · {stage}"},
         })
-    return meta + events
+    fault_events = _fault_instant_events(collector)
+    if fault_events:
+        meta.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": FAULT_PID,
+            "args": {"name": "faults"},
+        })
+        meta.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": FAULT_PID,
+            "tid": 0,
+            "args": {"name": "fault events"},
+        })
+    return meta + events + fault_events
+
+
+def _fault_instant_events(collector: TraceCollector) -> List[dict]:
+    """Instant ("i") events for the collector's fault-event log.
+
+    Already deterministic in content (the injector emits in cycle
+    order); re-sorted on a canonical key anyway so the byte-identical
+    guarantee never depends on injector emission order.
+    """
+    events = [
+        {
+            "name": f"{kind} {direction}",
+            "ph": "i",
+            "ts": cycle,
+            "pid": FAULT_PID,
+            "tid": 0,
+            "s": "p",
+            "args": {"where": list(where)},
+        }
+        for direction, kind, where, cycle in collector.fault_events
+    ]
+    events.sort(key=lambda e: (e["ts"], e["name"], str(e["args"]["where"])))
+    return events
 
 
 def _stage_indexer(collector: TraceCollector) -> Dict[str, int]:

@@ -162,6 +162,13 @@ class TraceCollector:
         self.grants_by_output: Dict[int, int] = {}
         #: (source, output) -> grants: the crosspoint traffic matrix.
         self.crosspoint_grants: Dict[Tuple[int, int], int] = {}
+        self.fault_injects = 0
+        self.fault_recovers = 0
+        #: Bounded (direction, kind, where, cycle) fault-event log from
+        #: the ``fault_inject``/``fault_recover`` events (see
+        #: :mod:`repro.faults`); capped at ``capacity`` entries, oldest
+        #: evicted first — the counters above keep exact totals.
+        self.fault_events: List[Tuple[str, str, Tuple, int]] = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -193,6 +200,8 @@ class TraceCollector:
         hooks.on_spec_outcome(self._on_spec_outcome)
         hooks.on_grant(self._on_grant)
         hooks.on_cycle_end(self._on_cycle_end)
+        hooks.on_fault_inject(self._on_fault_inject)
+        hooks.on_fault_recover(self._on_fault_recover)
         return self
 
     # ------------------------------------------------------------------
@@ -260,6 +269,20 @@ class TraceCollector:
     def _on_cycle_end(self, cycle: int) -> None:
         self.cycles += 1
 
+    def _on_fault_inject(self, kind: str, where, cycle: int) -> None:
+        self.fault_injects += 1
+        self._log_fault("inject", kind, where, cycle)
+
+    def _on_fault_recover(self, kind: str, where, cycle: int) -> None:
+        self.fault_recovers += 1
+        self._log_fault("recover", kind, where, cycle)
+
+    def _log_fault(self, direction: str, kind: str, where,
+                   cycle: int) -> None:
+        if len(self.fault_events) >= self.capacity:
+            self.fault_events.pop(0)
+        self.fault_events.append((direction, kind, tuple(where), cycle))
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -311,6 +334,10 @@ class TraceCollector:
         stats.bump("trace.records", self.completed)
         if self.evicted:
             stats.bump("trace.evicted", self.evicted)
+        if self.fault_injects:
+            stats.bump("trace.fault_injects", self.fault_injects)
+        if self.fault_recovers:
+            stats.bump("trace.fault_recovers", self.fault_recovers)
         for kind in sorted(self.spec):
             hits, misses = self.spec[kind]
             stats.bump(f"trace.spec_hits.{kind}", hits)

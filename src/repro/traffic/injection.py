@@ -28,6 +28,16 @@ class InjectionProcess:
     def should_inject(self, rng: Rng) -> bool:
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Discard internal state so the process can be reused.
+
+        Memoryless processes have nothing to reset; stateful ones
+        (e.g. :class:`MarkovOnOff`) override this.  Sharing one
+        process instance across ports or runs without resetting leaks
+        burst state between them — every :class:`~repro.traffic.source.
+        TrafficSource` resets its process on construction.
+        """
+
 
 class Bernoulli(InjectionProcess):
     """Independent Bernoulli trial each cycle (Section 4.3)."""
@@ -76,6 +86,11 @@ class MarkovOnOff(InjectionProcess):
             mean_on = avg_burst / peak_rate
             mean_off = mean_on * (1.0 - duty) / duty
             self._alpha = 1.0 / mean_off
+        self._on = False
+
+    def reset(self) -> None:
+        """Return to the OFF state (mid-burst state must not leak
+        into another port or run reusing this instance)."""
         self._on = False
 
     def should_inject(self, rng: Rng) -> bool:

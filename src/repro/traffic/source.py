@@ -38,6 +38,9 @@ class TrafficSource:
         self.input_id = input_id
         self.pattern = pattern
         self.injection = injection
+        # A stateful process (MarkovOnOff) reused across ports or runs
+        # must not carry mid-burst state into this source.
+        injection.reset()
         self.packet_size = packet_size
         self.queue: Deque[Flit] = deque()
         self._rng = derive_rng(seed, "traffic", input_id)

@@ -142,6 +142,42 @@ class TestTraceCommand:
         assert "traced flits" in capsys.readouterr().out
 
 
+class TestFaultsCommand:
+    def test_faults_sweep_table(self, capsys):
+        rc = main([
+            "faults", "--arch", "buffered", "--radix", "8",
+            "--subswitch", "4", "--load", "0.4",
+            "--rates", "0.0,0.05", "--credit-loss", "0.01",
+            "--warmup", "100", "--measure", "200", "--drain", "2000",
+            "--sanitize",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "corrupt rate" in out
+        assert "retransmits" in out
+        assert "0.050" in out
+        assert "[sanitized]" in out
+
+    def test_faults_rejects_bad_rate(self, capsys):
+        rc = main([
+            "faults", "--arch", "buffered", "--radix", "8",
+            "--subswitch", "4", "--rates", "0.0,1.5",
+        ])
+        assert rc == 2
+        assert "outside" in capsys.readouterr().err
+
+    def test_faults_deterministic_output(self, capsys):
+        argv = [
+            "faults", "--arch", "buffered", "--radix", "8",
+            "--subswitch", "4", "--load", "0.4", "--rates", "0.05",
+            "--warmup", "100", "--measure", "200", "--drain", "2000",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+
 class TestPipelineCommand:
     def test_pipeline_diagrams(self, capsys):
         rc = main(["pipeline", "--radix", "64"])

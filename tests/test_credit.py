@@ -87,22 +87,23 @@ class TestDelayedCreditPipe:
 class TestCreditReturnBus:
     def test_one_credit_per_cycle(self):
         """All crosspoints posting at once drain one per cycle."""
-        bus = CreditReturnBus(num_sources=4, latency=0)
+        bus = CreditReturnBus(num_sources=4, latency=1)
         hits = []
         for s in range(4):
             bus.post(s, lambda s=s: hits.append(s))
-        for cycle in range(4):
+        # Wins at cycles 0-3 arrive one latency cycle later, at 1-4.
+        for cycle in range(5):
             bus.step(cycle)
         assert sorted(hits) == [0, 1, 2, 3]
         assert len(hits) == 4
 
     def test_round_robin_across_sources(self):
-        bus = CreditReturnBus(num_sources=3, latency=0)
+        bus = CreditReturnBus(num_sources=3, latency=1)
         order = []
         for s in range(3):
             bus.post(s, lambda s=s: order.append(s))
             bus.post(s, lambda s=s: order.append(s))
-        for cycle in range(6):
+        for cycle in range(7):
             bus.step(cycle)
         # First pass grants each source once before repeating any.
         assert sorted(order[:3]) == [0, 1, 2]
@@ -118,27 +119,41 @@ class TestCreditReturnBus:
         assert hits == [1]
 
     def test_backlog_and_idle(self):
-        bus = CreditReturnBus(num_sources=2, latency=0)
+        bus = CreditReturnBus(num_sources=2, latency=1)
         assert bus.idle()
         bus.post(0, lambda: None)
         bus.post(0, lambda: None)
         assert bus.backlog() == 2
         bus.step(0)
+        # One credit won the bus and is on the wire; one still waits.
         assert bus.backlog() == 1
+        assert not bus.idle()
         bus.step(1)
+        assert bus.backlog() == 0
+        assert not bus.idle()  # second credit still in flight
+        bus.step(2)
         assert bus.idle()
 
     def test_invalid_sources(self):
         with pytest.raises(ValueError):
             CreditReturnBus(0)
 
+    def test_zero_latency_rejected(self):
+        """latency=0 would deliver a credit in the same step() that
+        granted it the bus — same-cycle visibility the two-phase engine
+        forbids.  Zero-latency dedicated wires use DelayedCreditPipe."""
+        with pytest.raises(ValueError, match="latency"):
+            CreditReturnBus(num_sources=4, latency=0)
+        with pytest.raises(ValueError, match="latency"):
+            CreditReturnBus(num_sources=4, latency=-1)
+
     def test_loser_retries_and_eventually_wins(self):
         """A crosspoint that loses the bus re-arbitrates later and its
         credit is not lost (Section 5.2)."""
-        bus = CreditReturnBus(num_sources=8, latency=0)
+        bus = CreditReturnBus(num_sources=8, latency=1)
         hits = []
         for s in range(8):
             bus.post(s, lambda s=s: hits.append(s))
-        for cycle in range(8):
+        for cycle in range(9):
             bus.step(cycle)
         assert sorted(hits) == list(range(8))

@@ -96,6 +96,50 @@ class TestMarkovOnOff:
         with pytest.raises(ValueError):
             MarkovOnOff(rate=0.0, peak_rate=0.0)
 
+    def test_reset_clears_burst_state(self):
+        """Regression: a MarkovOnOff instance reused across ports or
+        runs carried its ON state over, so the second user started
+        mid-burst and the streams were correlated."""
+        proc = MarkovOnOff(rate=0.2, peak_rate=1.0, avg_burst=50.0)
+        rng = random.Random(5)
+        # Drive until the process is mid-burst.
+        for _ in range(10000):
+            proc.should_inject(rng)
+            if proc._on:
+                break
+        assert proc._on
+        proc.reset()
+        assert not proc._on
+
+    def test_reset_makes_reuse_deterministic(self):
+        """Two identical RNG streams through one instance must match
+        when reset() is called between uses."""
+        proc = MarkovOnOff(rate=0.2, peak_rate=1.0, avg_burst=8.0)
+        rng = random.Random(7)
+        a = [proc.should_inject(rng) for _ in range(500)]
+        proc.reset()
+        rng = random.Random(7)
+        b = [proc.should_inject(rng) for _ in range(500)]
+        assert a == b
+
+    def test_bernoulli_reset_is_noop(self):
+        proc = Bernoulli(0.3)
+        proc.reset()  # must exist and be harmless on stateless processes
+        rng = random.Random(8)
+        assert isinstance(proc.should_inject(rng), bool)
+
+    def test_traffic_source_resets_shared_process(self):
+        """TrafficSource construction resets its injection process, so
+        sharing one stateful instance across ports cannot leak burst
+        state from one source into the next."""
+        from repro.traffic.patterns import UniformRandom
+        from repro.traffic.source import TrafficSource
+
+        proc = MarkovOnOff(rate=0.2, peak_rate=1.0, avg_burst=8.0)
+        proc._on = True  # simulate mid-burst state left by a prior user
+        TrafficSource(0, UniformRandom(4), proc, packet_size=1, seed=1)
+        assert not proc._on
+
 
 class TestFactory:
     def test_bernoulli(self):

@@ -138,6 +138,33 @@ class TestPersistence:
         with pytest.raises(ValueError):
             load_sweeps(path)
 
+    def test_nan_latency_serializes_as_null(self, tmp_path):
+        """Empty-sample runs report avg_latency=NaN; json.dump would
+        emit the bare token ``NaN``, which is not valid JSON.  The file
+        must carry ``null`` instead — and round-trip back to NaN."""
+        r = RunResult(
+            offered_load=0.0, avg_latency=float("nan"),
+            p99_latency=float("nan"), max_latency=0, throughput=0.0,
+            packets_measured=0, cycles=100, saturated=False,
+        )
+        path = tmp_path / "empty.json"
+        save_sweeps(path, [SweepResult("empty", [r])])
+        text = path.read_text()
+        assert "NaN" not in text
+        assert '"avg_latency": null' in text
+        import json
+        json.loads(text)  # strict parsers must accept the file
+        (loaded,) = load_sweeps(path)
+        back = loaded.results[0]
+        assert math.isnan(back.avg_latency)
+        assert math.isnan(back.p99_latency)
+        assert back.packets_measured == 0
+
+    def test_finite_latency_unaffected_by_null_mapping(self):
+        d = result_to_dict(self._result())
+        assert d["avg_latency"] == 12.5
+        assert d["p99_latency"] == 30.0
+
 
 class TestCheckedRouter:
     def test_clean_run_passes(self):

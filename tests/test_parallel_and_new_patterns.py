@@ -15,6 +15,12 @@ SETTINGS = SweepSettings(warmup=150, measure=300, drain=2000)
 LOADS = [0.2, 0.5]
 
 
+def _exploding_router(config):
+    """Module-level (picklable) factory whose construction fails in the
+    worker process."""
+    raise RuntimeError("boom in worker")
+
+
 class TestParallelSweep:
     def test_matches_serial_results(self):
         """Same seed, same points: parallel == serial, exactly."""
@@ -49,6 +55,38 @@ class TestParallelSweep:
             BufferedCrossbarRouter, CFG, [0.3], settings=SETTINGS,
         )
         assert len(sweep.results) == 1
+
+    def test_zero_processes_rejected(self):
+        """Regression: ``processes=0`` fell through ``processes or
+        min(...)`` to the default pool size, silently masking a caller
+        bug.  It must raise instead."""
+        with pytest.raises(ValueError, match="processes"):
+            run_load_sweep_parallel(
+                BufferedCrossbarRouter, CFG, LOADS, settings=SETTINGS,
+                processes=0,
+            )
+        with pytest.raises(ValueError, match="processes"):
+            run_load_sweep_parallel(
+                BufferedCrossbarRouter, CFG, LOADS, settings=SETTINGS,
+                processes=-2,
+            )
+
+    def test_worker_exception_propagates(self):
+        """An exception inside a worker must surface in the parent
+        (with the pool torn down cleanly), not hang or be swallowed."""
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            run_load_sweep_parallel(
+                _exploding_router, CFG, LOADS, settings=SETTINGS,
+                processes=2,
+            )
+
+    def test_worker_exception_propagates_inline(self):
+        """Same contract on the processes=1 (no-pool) shortcut."""
+        with pytest.raises(RuntimeError, match="boom in worker"):
+            run_load_sweep_parallel(
+                _exploding_router, CFG, [0.3], settings=SETTINGS,
+                processes=1,
+            )
 
 
 class TestTornado:

@@ -81,6 +81,42 @@ class TestLatencySample:
         with pytest.raises(ValueError):
             s.confidence_halfwidth(confidence=0.5)
 
+    def test_ci_remainder_folded_into_last_batch(self):
+        """n % batches tail observations must contribute to the CI.
+
+        Regression: with 25 samples and 10 batches (size 2), the last
+        5 samples were silently dropped, so an outlier tail did not
+        widen the interval.  Folding the remainder into the final
+        batch makes the two samples below differ."""
+        head = [50] * 20
+        tail_clean = [50] * 5
+        tail_outliers = [5000] * 5
+        a, b = LatencySample(), LatencySample()
+        for v in head + tail_clean:
+            a.add(v)
+        for v in head + tail_outliers:
+            b.add(v)
+        assert a.confidence_halfwidth() == 0.0
+        # Before the fix both half-widths were 0.0: the outlier tail
+        # lived entirely in the dropped remainder.
+        assert b.confidence_halfwidth() > 100.0
+
+    def test_ci_exact_batches_unchanged(self):
+        """When n is a multiple of batches the fold is a no-op."""
+        s = LatencySample()
+        for i in range(100):
+            s.add(i % 7)
+        size = 10
+        means = [
+            sum(s.latencies[b * size : (b + 1) * size]) / size
+            for b in range(10)
+        ]
+        grand = sum(means) / 10
+        var = sum((m - grand) ** 2 for m in means) / 9
+        import math
+        expected = 2.5758 * math.sqrt(var / 10)
+        assert abs(s.confidence_halfwidth() - expected) < 1e-12
+
 
 class TestSummarize:
     def _sample(self, values):
