@@ -1,0 +1,118 @@
+"""Content-hash cache for per-file lint work.
+
+The expensive half of a lint run is per file: read, tokenize for
+pragmas, parse, run the per-file rules, and summarize for the index.
+All of it is a pure function of the file's bytes, so the cache keys
+each entry on the SHA-256 of the content and stores the three products:
+
+* the per-file findings (post pragma-filter, R001–R004 and E999),
+* the ``(line, code)`` pragma hits those rules consumed (R012 needs
+  them even on warm runs),
+* the :class:`~repro.analysis.flow.summary.FileSummary` as plain JSON.
+
+Project rules (R005–R012) are *not* cached — they depend on the whole
+tree — but they run over summaries, so a warm re-lint of an unchanged
+tree costs file hashing plus dictionary walks, no parsing.
+
+The store is invalidated wholesale when the cache format or the rule
+signature changes (:data:`CACHE_VERSION` plus the sorted rule codes).
+Writes are atomic (tempfile + rename) so an interrupted run can never
+leave a torn store behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Bump when the summary schema or cached-finding shape changes.
+CACHE_VERSION = 1
+
+#: Default store location, relative to the working directory.
+DEFAULT_CACHE_PATH = ".lint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class SummaryCache:
+    """A JSON-backed map: display path -> (hash, findings, summary)."""
+
+    def __init__(self, path: str = DEFAULT_CACHE_PATH,
+                 signature: str = "") -> None:
+        self.path = path
+        self.signature = signature
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict):
+            return
+        if data.get("version") != CACHE_VERSION:
+            return
+        if data.get("signature") != self.signature:
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, display_path: str, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for ``display_path`` if its hash matches."""
+        entry = self._entries.get(display_path)
+        if entry is not None and entry.get("hash") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        display_path: str,
+        digest: str,
+        summary: Optional[Dict[str, Any]],
+        findings: List[Dict[str, Any]],
+        used_pragmas: List[Tuple[int, str]],
+    ) -> None:
+        self._entries[display_path] = {
+            "hash": digest,
+            "summary": summary,
+            "findings": findings,
+            "used_pragmas": [[line, code] for line, code in used_pragmas],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the store (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "entries": self._entries,
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(
+            prefix=".lint-cache-", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        self._dirty = False

@@ -1,10 +1,23 @@
 """AST lint framework for simulator-specific rules.
 
-A *rule* walks a parsed module and yields :class:`Finding`s; the runner
-applies every registered rule to every ``.py`` file under the given
-paths, filters findings through ``# lint: disable=...`` pragmas, and
-reports them as ``path:line: code message`` — one finding per line,
-sorted, suitable for editors and CI logs.
+Two kinds of rule share one catalogue:
+
+* **Per-file rules** (R001-R004) implement ``check(tree, ctx)`` — a
+  generator over one parsed module.  Their findings are a pure function
+  of the file's bytes, so they are cached by content hash (see
+  :mod:`repro.analysis.flow.cache`).
+* **Project rules** (R005-R012) additionally implement
+  ``check_project(index)`` against the whole-program
+  :class:`~repro.analysis.flow.index.ProjectIndex` — cross-module class
+  hierarchies, interprocedural purity, global RNG-stream uniqueness.
+  Rules that implement both (R005-R007) run per-file under
+  :func:`lint_file` and whole-program under :func:`lint_paths`; the
+  per-file form is the degraded single-module view, kept for editor
+  integration and unit tests.
+
+Findings are reported as ``path:line: code message`` — one per line,
+sorted by ``(path, line, code)`` — or as deterministic JSON / SARIF
+2.1.0 via ``--format`` (see :mod:`repro.analysis.flow.output`).
 
 Pragmas::
 
@@ -13,22 +26,40 @@ Pragmas::
     bad_call()          # lint: disable             suppress all codes
 
 A pragma applies to findings reported on its own physical line.
-
-The framework is deliberately small: rules are plain classes with a
-``code``, a ``description``, and a ``check(tree, ctx)`` generator — see
-:mod:`repro.analysis.rules` for the catalogue (R001-R007).
+Pragmas are read from real comment tokens (``tokenize``), so
+pragma-shaped text inside strings and docstrings is inert.  A pragma
+that suppresses nothing is itself a finding (R012).
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    TYPE_CHECKING,
+    Tuple,
+)
 
-#: Directories never linted (build products, caches).
-EXCLUDED_DIRS = {"__pycache__", ".git", "build", "dist"}
+if TYPE_CHECKING:
+    from .flow.cache import SummaryCache
+    from .flow.index import ProjectIndex
+
+#: Directories never linted when *recursed into* (build products,
+#: caches, intentionally-broken fixture corpora).  The exclusion is
+#: relative to the lint root, so ``lint tests`` skips
+#: ``tests/fixtures/`` while ``lint tests/fixtures/lint`` lints it.
+EXCLUDED_DIRS = {"__pycache__", ".git", "build", "dist", "fixtures"}
 EXCLUDED_SUFFIXES = (".egg-info",)
 
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
@@ -42,6 +73,7 @@ class Finding:
     line: int
     code: str
     message: str
+    column: int = 0
 
     def format(self) -> str:
         return f"{self.path}:{self.line}: {self.code} {self.message}"
@@ -74,12 +106,18 @@ class LintRule:
     """Base class for lint rules.
 
     Subclasses set ``code`` (``"R00x"``), ``name``, and ``description``
-    and implement :meth:`check`.
+    and implement :meth:`check`.  Rules that can exploit the
+    whole-program index additionally implement ``check_project(index)``
+    (see :class:`ProjectRule`); :func:`lint_paths` prefers that form.
     """
 
     code: str = "R000"
     name: str = "abstract-rule"
     description: str = ""
+    #: Final-phase project rules (R012) run after every other rule and
+    #: see the accumulated rule-hit map; their findings bypass pragma
+    #: suppression (they reason about the pragmas themselves).
+    runs_last: bool = False
 
     def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -92,38 +130,82 @@ class LintRule:
             message=message,
         )
 
+    def project_finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(path=path, line=line, code=self.code, message=message)
+
+
+class ProjectRule(LintRule):
+    """A rule that only exists at whole-program scope (R008-R012).
+
+    ``check`` is a no-op so the catalogue stays safe to hand to
+    :func:`lint_file`; the real work happens in :meth:`check_project`.
+    """
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _has_project_check(rule: LintRule) -> bool:
+    return callable(getattr(rule, "check_project", None))
+
 
 def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Pragma map from comment tokens; regex fallback on tokenize error.
+
+    The tokenizer pass means docstrings *about* pragmas don't register
+    as pragmas (a regex over raw lines can't tell the difference); the
+    fallback keeps suppression working in files the tokenizer rejects,
+    where reporting something is better than reporting noise.
+    """
     pragmas: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _PRAGMA_RE.search(line)
+
+    def record(lineno: int, text: str) -> None:
+        m = _PRAGMA_RE.search(text)
         if not m:
-            continue
+            return
         codes = m.group(1)
         if codes is None:
             pragmas[lineno] = {"*"}
         else:
             pragmas[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                record(tok.start[0], tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pragmas.clear()
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            record(lineno, line)
     return pragmas
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
     """Yield every ``.py`` file under ``paths`` (files or directories)."""
+    for root, candidate in _iter_with_roots(paths):
+        yield candidate
+
+
+def _iter_with_roots(paths: Sequence[str]) -> Iterator[Tuple[Path, Path]]:
+    """``(lint_root, file)`` pairs; exclusions apply below the root."""
     for raw in paths:
         root = Path(raw)
         if root.is_file():
             if root.suffix == ".py":
-                yield root
+                yield root.parent, root
             continue
         if not root.exists():
             raise FileNotFoundError(f"lint path does not exist: {raw}")
         for candidate in sorted(root.rglob("*.py")):
-            parts = candidate.parts
-            if any(part in EXCLUDED_DIRS for part in parts):
+            rel_parts = candidate.relative_to(root).parts
+            if any(part in EXCLUDED_DIRS for part in rel_parts):
                 continue
-            if any(part.endswith(EXCLUDED_SUFFIXES) for part in parts):
+            if any(part.endswith(EXCLUDED_SUFFIXES) for part in rel_parts):
                 continue
-            yield candidate
+            yield root, candidate
 
 
 def lint_file(
@@ -131,19 +213,17 @@ def lint_file(
     rules: Sequence[LintRule],
     display_path: Optional[str] = None,
 ) -> List[Finding]:
-    """Apply ``rules`` to one file; returns unsuppressed findings."""
+    """Apply ``rules`` to one file; returns unsuppressed findings.
+
+    This is the degraded per-file view: rules that need the project
+    index contribute only their syntactic ``check`` here (which is
+    empty for R008-R012).
+    """
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=display_path or str(path),
-                line=exc.lineno or 1,
-                code="E999",
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return [_syntax_finding(display_path or str(path), exc)]
     ctx = FileContext(
         path=path,
         display_path=display_path or str(path),
@@ -158,22 +238,126 @@ def lint_file(
     return findings
 
 
+def _syntax_finding(display_path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=display_path,
+        line=exc.lineno or 1,
+        code="E999",
+        message=f"syntax error: {exc.msg}",
+        column=(exc.offset or 1) - 1,
+    )
+
+
+def _sort_key(f: Finding) -> Tuple[str, int, str, int, str]:
+    return (f.path, f.line, f.code, f.column, f.message)
+
+
 def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[LintRule]] = None,
+    cache: Optional["SummaryCache"] = None,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths`` with ``rules``.
+    """Whole-program lint of every Python file under ``paths``.
 
-    Returns findings sorted by (path, line, code).
+    Per-file rules run on each module (from ``cache`` when the content
+    hash matches); project rules run once against the
+    :class:`~repro.analysis.flow.index.ProjectIndex` built from the
+    per-file summaries.  Returns findings sorted by (path, line, code).
     """
+    from .flow.cache import content_hash
+    from .flow.index import ProjectIndex
+    from .flow.summary import FileSummary, summarize_module
+
     if rules is None:
         from .rules import all_rules
 
         rules = all_rules()
+    file_rules = [r for r in rules if not _has_project_check(r)]
+    project_rules = [
+        r for r in rules if _has_project_check(r) and not r.runs_last
+    ]
+    final_rules = [r for r in rules if _has_project_check(r) and r.runs_last]
+
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules, display_path=str(path)))
-    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    summaries: List[FileSummary] = []
+    #: display path -> every (line, code) any rule fired pre-suppression;
+    #: the stale-pragma rule consumes this.
+    rule_hits: Dict[str, Set[Tuple[int, str]]] = {}
+
+    for root, path in _iter_with_roots(paths):
+        display = str(path)
+        raw = path.read_bytes()
+        digest = content_hash(raw)
+        if cache is not None:
+            entry = cache.lookup(display, digest)
+            if entry is not None:
+                findings.extend(Finding(**f) for f in entry["findings"])
+                rule_hits[display] = {
+                    (line, code) for line, code in entry["used_pragmas"]
+                }
+                if entry["summary"] is not None:
+                    summaries.append(FileSummary.from_dict(entry["summary"]))
+                continue
+        source = raw.decode("utf-8")
+        hits: Set[Tuple[int, str]] = set()
+        rule_hits[display] = hits
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            bad = _syntax_finding(display, exc)
+            findings.append(bad)
+            if cache is not None:
+                cache.store(display, digest, None, [vars(bad).copy()], [])
+            continue
+        pragmas = _parse_pragmas(source)
+        ctx = FileContext(
+            path=path, display_path=display, source=source, pragmas=pragmas
+        )
+        kept: List[Finding] = []
+        for rule in file_rules:
+            for finding in rule.check(tree, ctx):
+                hits.add((finding.line, finding.code))
+                if not ctx.suppressed(finding.line, finding.code):
+                    kept.append(finding)
+        findings.extend(kept)
+        summary = summarize_module(
+            tree,
+            display,
+            pragmas={ln: sorted(codes) for ln, codes in pragmas.items()},
+            root=str(root),
+        )
+        summaries.append(summary)
+        if cache is not None:
+            cache.store(
+                display,
+                digest,
+                summary.to_dict(),
+                [vars(f).copy() for f in kept],
+                sorted(hits),
+            )
+
+    index = ProjectIndex(summaries)
+    index.rule_hits = rule_hits
+    pragma_maps: Dict[str, Dict[int, Set[str]]] = {
+        s.path: {ln: set(codes) for ln, codes in s.pragmas.items()}
+        for s in summaries
+    }
+
+    for rule in project_rules:
+        for finding in rule.check_project(index):
+            rule_hits.setdefault(finding.path, set()).add(
+                (finding.line, finding.code)
+            )
+            disabled = pragma_maps.get(finding.path, {}).get(finding.line)
+            if disabled and ("*" in disabled or finding.code in disabled):
+                continue
+            findings.append(finding)
+    for rule in final_rules:
+        findings.extend(rule.check_project(index))
+
+    if cache is not None:
+        cache.save()
+    findings.sort(key=_sort_key)
     return findings
 
 
@@ -181,17 +365,116 @@ def format_findings(findings: Iterable[Finding]) -> str:
     return "\n".join(f.format() for f in findings)
 
 
+def rules_signature(rules: Sequence[LintRule]) -> str:
+    """Cache-invalidation key: the catalogue in force."""
+    from .flow.output import TOOL_VERSION
+
+    return TOOL_VERSION + ":" + ",".join(sorted(r.code for r in rules))
+
+
+def filter_rules(
+    rules: Sequence[LintRule],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[LintRule]:
+    """Apply ``--select``/``--ignore`` code filters to the catalogue.
+
+    Raises :class:`ValueError` for codes that name no known rule
+    (E999 is accepted: it is filterable output, not a rule).
+    """
+    known = {r.code for r in rules} | {"E999"}
+    for code in list(select or []) + list(ignore or []):
+        if code not in known:
+            raise ValueError(f"unknown rule code: {code}")
+    kept = list(rules)
+    if select:
+        kept = [r for r in kept if r.code in set(select)]
+    if ignore:
+        kept = [r for r in kept if r.code not in set(ignore)]
+    return kept
+
+
 def run_lint(
     paths: Sequence[str],
     rules: Optional[Sequence[LintRule]] = None,
     print_findings: bool = True,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    output_format: str = "text",
+    output_path: Optional[str] = None,
+    cache_path: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+    write_baseline: bool = False,
 ) -> int:
-    """Lint ``paths`` and return a process exit code (0 clean, 1 dirty)."""
-    findings = lint_paths(paths, rules)
-    if findings and print_findings:
-        print(format_findings(findings))
-    if print_findings:
-        n = len(findings)
-        summary = "clean" if n == 0 else f"{n} finding{'s' if n != 1 else ''}"
-        print(f"lint: {summary} ({', '.join(paths)})")
+    """Lint ``paths``; return a process exit code.
+
+    0 = clean, 1 = findings, 2 = usage error (unknown rule code or
+    format).  ``--format json``/``sarif`` write a deterministic
+    document to ``output_path`` (stdout when unset); the exit code
+    still reflects the findings so CI fails on regressions.
+    """
+    from .flow import output as out_mod
+
+    if rules is None:
+        from .rules import all_rules
+
+        rules = all_rules()
+    try:
+        active = filter_rules(rules, select, ignore)
+    except ValueError as exc:
+        print(f"lint: {exc}")
+        return 2
+    if output_format not in ("text", "json", "sarif"):
+        print(f"lint: unknown format: {output_format}")
+        return 2
+
+    cache = None
+    if cache_path is not None:
+        from .flow.cache import SummaryCache
+
+        cache = SummaryCache(cache_path, signature=rules_signature(active))
+    findings = lint_paths(paths, active, cache=cache)
+    dropped = set(ignore or ())
+    if dropped:
+        findings = [f for f in findings if f.code not in dropped]
+    if select:
+        wanted = set(select)
+        findings = [f for f in findings if f.code in wanted]
+
+    if write_baseline and baseline_path:
+        out_mod.write_baseline(baseline_path, findings)
+        if print_findings:
+            print(
+                f"lint: wrote baseline with {len(findings)} "
+                f"finding{'s' if len(findings) != 1 else ''} to {baseline_path}"
+            )
+        return 0
+    if baseline_path:
+        findings = out_mod.apply_baseline(
+            findings, out_mod.load_baseline(baseline_path)
+        )
+
+    if output_format == "json":
+        document = out_mod.findings_to_json(findings)
+    elif output_format == "sarif":
+        meta = {r.code: (r.name, r.description) for r in active}
+        document = out_mod.findings_to_sarif(findings, meta)
+    else:
+        document = None
+
+    if document is not None:
+        if output_path:
+            with open(output_path, "w", encoding="utf-8") as fh:
+                fh.write(document)
+        elif print_findings:
+            print(document, end="")
+    else:
+        if findings and print_findings:
+            print(format_findings(findings))
+        if print_findings:
+            n = len(findings)
+            summary = (
+                "clean" if n == 0 else f"{n} finding{'s' if n != 1 else ''}"
+            )
+            print(f"lint: {summary} ({', '.join(paths)})")
     return 1 if findings else 0

@@ -14,13 +14,35 @@ R003  no-config-mutation          Frozen ``RouterConfig`` objects are
 R004  no-mutable-default          No mutable default arguments
 R005  router-subclass-contract    ``Router`` subclasses implement the
                                   step hook and chain ``__init__``
+                                  (cross-module via the project index)
 R006  compute-phase-purity        ``Component.compute`` only stages
                                   intents (``self._staged*``); all
                                   mutation happens in ``commit``
 R007  hook-emission-phase         Hook events (``*.emit_*``) fire from
                                   ``commit``, never from the
                                   speculative ``compute`` phase
+R008  phase-race                  Compute-phase *call chains* stay
+                                  pure; ``commit`` never writes another
+                                  component's compute-read state
+R009  rng-stream-audit            ``derive_rng`` keys are stable and
+                                  globally unique; no module-level
+                                  streams
+R010  serialization-readiness     Component state stays picklable: no
+                                  lambdas, generators, open handles,
+                                  locks, or bound-method/closure
+                                  captures
+R011  hook-contract               ``emit_*`` sites match the
+                                  ``EngineHooks`` registry (event,
+                                  arity, keywords); ``on_*`` handlers
+                                  accept the payload
+R012  stale-pragma                Every ``# lint: disable`` pragma
+                                  suppresses at least one finding
 ===== ==========================  ====================================
+
+R001-R004 are per-file (and cached by content hash); R005-R012 run
+against the whole-program :class:`~repro.analysis.flow.index.
+ProjectIndex`.  R005-R007 keep a degraded per-file form for editor
+integration and :func:`~repro.analysis.lint.lint_file`.
 """
 
 from __future__ import annotations
@@ -31,12 +53,24 @@ from ..lint import LintRule
 from .config_rules import ConfigMutationRule, MutableDefaultRule
 from .determinism import DirectRandomRule, NondeterminismRule
 from .engine_rules import ComputePhasePurityRule, HookEmissionPhaseRule
+from .flow_rules import (
+    HookContractRule,
+    PhaseRaceRule,
+    RngStreamRule,
+    SerializationReadinessRule,
+    StalePragmaRule,
+)
 from .structure import RouterSubclassRule
 
 
 def all_rules() -> List[LintRule]:
-    """Instantiate the full rule catalogue, ordered by code."""
-    return [
+    """Instantiate the full rule catalogue, ordered by code.
+
+    The order is deterministic by construction and verified here so a
+    future edit cannot silently perturb output ordering or the cache
+    signature.
+    """
+    rules: List[LintRule] = [
         DirectRandomRule(),
         NondeterminismRule(),
         ConfigMutationRule(),
@@ -44,7 +78,14 @@ def all_rules() -> List[LintRule]:
         RouterSubclassRule(),
         ComputePhasePurityRule(),
         HookEmissionPhaseRule(),
+        PhaseRaceRule(),
+        RngStreamRule(),
+        SerializationReadinessRule(),
+        HookContractRule(),
+        StalePragmaRule(),
     ]
+    assert [r.code for r in rules] == sorted(r.code for r in rules)
+    return rules
 
 
 __all__ = [
@@ -56,4 +97,9 @@ __all__ = [
     "RouterSubclassRule",
     "ComputePhasePurityRule",
     "HookEmissionPhaseRule",
+    "PhaseRaceRule",
+    "RngStreamRule",
+    "SerializationReadinessRule",
+    "HookContractRule",
+    "StalePragmaRule",
 ]

@@ -28,12 +28,41 @@ they describe is final.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Iterator, List, Optional, Set, Tuple
 
 from ..lint import FileContext, Finding, LintRule
 
+if TYPE_CHECKING:
+    from ..flow.index import ProjectIndex
+    from ..flow.summary import MethodSummary
+
 #: Attribute prefix marking staged-intent storage (writable in compute).
 _STAGED_PREFIX = "_staged"
+
+
+def _resolved_computes(
+    index: "ProjectIndex",
+) -> Iterator[Tuple[str, str, "MethodSummary"]]:
+    """``(owner_qual, path, compute_method)`` for every distinct
+    ``compute`` that a two-phase class actually runs.
+
+    Iterating classes and resolving along the MRO is what closes the
+    per-file blind spot: a class that overrides ``compute`` in one
+    module while inheriting ``commit`` from another is still bound.
+    Deduplicated by defining method so shared bases report once.
+    """
+    seen: Set[Tuple[str, str]] = set()
+    for qual, _, _ in index.iter_classes():
+        if not index.is_two_phase(qual):
+            continue
+        resolved = index.resolve_method(qual, "compute")
+        if resolved is None:
+            continue
+        owner, method = resolved
+        if (owner, "compute") in seen:
+            continue
+        seen.add((owner, "compute"))
+        yield owner, index.classes[owner][0].path, method
 
 
 def _self_attr_name(node: ast.expr) -> Optional[str]:
@@ -123,6 +152,24 @@ class ComputePhasePurityRule(LintRule):
                         "`commit`",
                     )
 
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Index-based form: two-phase membership resolves across
+        modules, so a subclass overriding only ``compute`` is bound by
+        the ``commit`` it inherits from elsewhere."""
+        for owner, path, compute in _resolved_computes(index):
+            cls_name = owner.rsplit(".", 1)[-1]
+            for write in compute.self_writes:
+                name = write.attr
+                if name == "cycle" or name.startswith(_STAGED_PREFIX):
+                    continue
+                yield self.project_finding(
+                    path, write.line,
+                    f"`{cls_name}.compute` writes `self.{name}`; the "
+                    "compute phase only reads state and stages "
+                    "intents (`self._staged*`) — apply mutations in "
+                    "`commit`",
+                )
+
 
 class HookEmissionPhaseRule(LintRule):
     """R007: hook events fire from ``commit``, never from ``compute``."""
@@ -169,6 +216,19 @@ class HookEmissionPhaseRule(LintRule):
                 yield self.finding(
                     ctx, call,
                     f"`{node.name}.compute` calls `{func.attr}`; hook "
+                    "events describe committed state and must be emitted "
+                    "from `commit` (or an externally driven entry point), "
+                    "never during the speculative compute phase",
+                )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Index-based form; same cross-module scoping as R006."""
+        for owner, path, compute in _resolved_computes(index):
+            cls_name = owner.rsplit(".", 1)[-1]
+            for emit in compute.emits:
+                yield self.project_finding(
+                    path, emit.line,
+                    f"`{cls_name}.compute` calls `{emit.event}`; hook "
                     "events describe committed state and must be emitted "
                     "from `commit` (or an externally driven entry point), "
                     "never during the speculative compute phase",

@@ -1,0 +1,503 @@
+"""Whole-program rules R008-R012.
+
+These rules only exist at project scope: they consume the
+:class:`~repro.analysis.flow.index.ProjectIndex` — cross-module MRO,
+per-method flow summaries, the recovered ``EngineHooks`` registry, and
+the runner's pragma-hit ledger — rather than a single parsed module.
+
+* **R008** closes the helper-method hole left by the syntactic R006/
+  R007: purity is propagated interprocedurally through ``self.*()``
+  call chains rooted at ``compute``, and ``commit`` is checked for
+  writes into *other* components' state that some ``compute`` reads
+  the same cycle (an evaluation-order race the two-phase split exists
+  to prevent).
+* **R009** audits ``derive_rng``/``derive_seed`` streams globally:
+  duplicate constant keys collapse two logically distinct streams into
+  one; keys built from ``id()``/``hash()``/set iteration are not
+  stable across runs or processes; module-level streams are shared by
+  everything that imports the module — all three break the sharding
+  plan's one-stream-per-component invariant.
+* **R010** is the static precondition for checkpoint/restore:
+  component state must be picklable, so lambdas, generators, open
+  handles, locks, and bound-method/closure captures stored on (or
+  into) component state are flagged at the assignment site.
+* **R011** checks every ``emit_*`` call site against the
+  ``EngineHooks`` registry recovered from the indexed source (event
+  exists, payload arity and keyword names match), and every ``on_*``
+  subscription for a handler whose signature can accept the payload.
+* **R012** reports ``lint: disable`` pragmas that suppress nothing —
+  stale suppressions hide future regressions at their line.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..lint import Finding, ProjectRule
+from ..flow.summary import (
+    STAGED_PREFIX,
+    EmitSite,
+    FileSummary,
+    MethodSummary,
+    RngSite,
+    SubSite,
+)
+
+if TYPE_CHECKING:
+    from ..flow.index import EventSpec, ProjectIndex
+
+
+def _class_path(index: "ProjectIndex", qual: str) -> str:
+    return index.classes[qual][0].path
+
+
+def _method_impurity(method: MethodSummary) -> Optional[str]:
+    """Why a method is unsafe to run during ``compute``, or ``None``."""
+    for w in method.self_writes:
+        if w.attr != "cycle" and not w.attr.startswith(STAGED_PREFIX):
+            return f"writes `self.{w.attr}`"
+    for w in method.cross_writes:
+        if w.root:
+            return f"writes `{w.root}.{w.attr}`"
+    if method.emits:
+        return f"emits `{method.emits[0].event}`"
+    return None
+
+
+class PhaseRaceRule(ProjectRule):
+    """R008: no mutation or emission reachable from ``compute``, and no
+    ``commit`` writes into another component's compute-read state."""
+
+    code = "R008"
+    name = "phase-race"
+    description = (
+        "compute-phase call chains must stay pure (no state writes or "
+        "hook emissions through helpers), and commit must not write "
+        "another component's compute-read attributes"
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        emitted: Set[Tuple[str, int, str]] = set()
+        compute_reads = self._compute_read_attrs(index)
+        for qual, _, _ in index.iter_classes():
+            if not index.is_two_phase(qual):
+                continue
+            for finding in self._check_compute_chains(index, qual):
+                key = (finding.path, finding.line, finding.message)
+                if key not in emitted:
+                    emitted.add(key)
+                    yield finding
+            for finding in self._check_commit_writes(
+                index, qual, compute_reads
+            ):
+                key = (finding.path, finding.line, finding.message)
+                if key not in emitted:
+                    emitted.add(key)
+                    yield finding
+
+    # -- compute-chain purity ------------------------------------------
+
+    def _check_compute_chains(
+        self, index: "ProjectIndex", qual: str
+    ) -> Iterator[Finding]:
+        resolved = index.resolve_method(qual, "compute")
+        if resolved is None:
+            return
+        owner, compute = resolved
+        path = _class_path(index, owner)
+        cls_name = owner.rsplit(".", 1)[-1]
+        for call in compute.self_calls:
+            reason, chain = self._find_impure(index, qual, call.name, set())
+            if reason is None:
+                continue
+            via = ""
+            if len(chain) > 1:
+                via = " (via `" + "` -> `".join(chain) + "`)"
+            yield self.project_finding(
+                path, call.line,
+                f"`{cls_name}.compute` calls `self.{call.name}()`, which "
+                f"{reason}{via}; the compute phase must stay pure through "
+                "its whole call chain — stage the intent and apply it in "
+                "`commit`",
+            )
+
+    def _find_impure(
+        self,
+        index: "ProjectIndex",
+        qual: str,
+        name: str,
+        visited: Set[str],
+    ) -> Tuple[Optional[str], List[str]]:
+        if name in visited or name == "compute":
+            return None, []
+        visited.add(name)
+        resolved = index.resolve_method(qual, name)
+        if resolved is None:
+            return None, []
+        _, method = resolved
+        reason = _method_impurity(method)
+        if reason is not None:
+            return reason, [name]
+        for call in method.self_calls:
+            deeper, chain = self._find_impure(index, qual, call.name, visited)
+            if deeper is not None:
+                return deeper, [name] + chain
+        return None, []
+
+    # -- commit cross-writes -------------------------------------------
+
+    @staticmethod
+    def _compute_read_attrs(index: "ProjectIndex") -> Set[str]:
+        """Attributes any resolved ``compute`` reads off ``self``."""
+        reads: Set[str] = set()
+        for qual, _, _ in index.iter_classes():
+            if not index.is_two_phase(qual):
+                continue
+            resolved = index.resolve_method(qual, "compute")
+            if resolved is not None:
+                reads.update(resolved[1].self_reads)
+        return reads
+
+    def _check_commit_writes(
+        self,
+        index: "ProjectIndex",
+        qual: str,
+        compute_reads: Set[str],
+    ) -> Iterator[Finding]:
+        resolved = index.resolve_method(qual, "commit")
+        if resolved is None:
+            return
+        owner, commit = resolved
+        path = _class_path(index, owner)
+        cls_name = owner.rsplit(".", 1)[-1]
+        for w in commit.cross_writes:
+            if not w.root or w.attr not in compute_reads:
+                continue
+            yield self.project_finding(
+                path, w.line,
+                f"`{cls_name}.commit` writes `{w.root}.{w.attr}`, an "
+                "attribute some `compute` reads the same cycle; commits "
+                "racing against other components' reads reintroduce the "
+                "evaluation-order coupling the two-phase split removes",
+            )
+
+
+class RngStreamRule(ProjectRule):
+    """R009: globally unique, stable ``derive_rng`` stream keys."""
+
+    code = "R009"
+    name = "rng-stream-audit"
+    description = (
+        "derive_rng keys must be stable (no id()/hash()/set iteration) "
+        "and globally unique for constant keys; no module-level streams"
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        sites: List[Tuple[str, RngSite]] = []
+        for summary in index.files.values():
+            for site in summary.rng_sites:
+                sites.append((summary.path, site))
+
+        const_groups: Dict[Tuple[str, Tuple[str, ...]], List[Tuple[str, RngSite]]]
+        const_groups = {}
+        for path, site in sites:
+            for reason in site.bad:
+                yield self.project_finding(
+                    path, site.line,
+                    f"`{site.func}` key uses {reason}; the key must be "
+                    "stable across runs and processes to keep streams "
+                    "reproducible",
+                )
+            if site.func == "derive_rng" and not site.key:
+                yield self.project_finding(
+                    path, site.line,
+                    "`derive_rng` with no key names derives the root "
+                    "stream; every component stream needs a distinct key",
+                )
+            if site.assigned_global:
+                yield self.project_finding(
+                    path, site.line,
+                    "module-level `derive_rng` stream is shared by every "
+                    "importer; derive streams inside the component that "
+                    "owns them so sharding can keep one stream per "
+                    "process",
+                )
+            if site.key and all(k.startswith("const:") for k in site.key):
+                const_groups.setdefault(
+                    (site.func, tuple(site.key)), []
+                ).append((path, site))
+
+        for (func, key), group in sorted(const_groups.items()):
+            if len(group) < 2:
+                continue
+            locations = sorted((path, site.line) for path, site in group)
+            shown = ", ".join(k[len("const:"):] for k in key)
+            for path, site in group:
+                others = ", ".join(
+                    f"{p}:{ln}"
+                    for p, ln in locations
+                    if (p, ln) != (path, site.line)
+                )
+                yield self.project_finding(
+                    path, site.line,
+                    f"duplicate `{func}` key ({shown}) also derived at "
+                    f"{others}; identical keys collapse logically "
+                    "distinct streams into one correlated sequence",
+                )
+
+
+class SerializationReadinessRule(ProjectRule):
+    """R010: component state must stay picklable for checkpoint/restore."""
+
+    code = "R010"
+    name = "serialization-readiness"
+    description = (
+        "component classes must not store lambdas, generators, open "
+        "handles, locks, or bound-method/closure captures on state"
+    )
+
+    _KIND_LABELS = {
+        "lambda": "a lambda",
+        "generator": "a generator",
+        "open": "an open file handle",
+        "lock": "a synchronization primitive",
+    }
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        family = {
+            qual
+            for qual, _, _ in index.iter_classes()
+            if index.is_two_phase(qual) or index.is_router_family(qual)
+        }
+        for qual, summary, cls in index.iter_classes():
+            in_family = qual in family
+            for mname, method in sorted(cls.methods.items()):
+                for w in method.self_writes:
+                    if not in_family:
+                        continue
+                    label = self._unpicklable_label(index, qual, w.kind)
+                    if label is None:
+                        continue
+                    yield self.project_finding(
+                        summary.path, w.line,
+                        f"`{cls.name}.{mname}` stores {label} in "
+                        f"`self.{w.attr}`; component state must stay "
+                        "picklable for checkpoint/restore",
+                    )
+                for w in method.cross_writes:
+                    if not w.root:
+                        continue
+                    label = self._unpicklable_label(index, qual, w.kind)
+                    if label is None:
+                        continue
+                    yield self.project_finding(
+                        summary.path, w.line,
+                        f"`{cls.name}.{mname}` stores {label} in "
+                        f"`{w.root}.{w.attr}`; attaching unpicklable "
+                        "callables to another object's state blocks "
+                        "checkpoint/restore of that component",
+                    )
+
+    def _unpicklable_label(
+        self, index: "ProjectIndex", qual: str, kind: str
+    ) -> Optional[str]:
+        if kind in self._KIND_LABELS:
+            return self._KIND_LABELS[kind]
+        if kind.startswith("self_call:"):
+            name = kind[len("self_call:"):]
+            resolved = index.resolve_method(qual, name)
+            if resolved is not None and resolved[1].returns_closure:
+                return f"a closure (from `self.{name}()`)"
+            return None
+        if kind.startswith("self_attr:"):
+            name = kind[len("self_attr:"):]
+            if index.resolve_method(qual, name) is not None:
+                return f"a bound method (`self.{name}`)"
+            return None
+        return None
+
+
+class HookContractRule(ProjectRule):
+    """R011: ``emit_*``/``on_*`` sites match the EngineHooks registry."""
+
+    code = "R011"
+    name = "hook-contract"
+    description = (
+        "emit_* call sites must name a registered EngineHooks event "
+        "with matching payload arity/keywords; on_* handlers must "
+        "accept the event payload"
+    )
+
+    @staticmethod
+    def _hooksish(receiver: str) -> bool:
+        return "hook" in receiver.lower()
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        registry = index.hooks_registry()
+        if not registry:
+            return
+        for summary in index.files.values():
+            for site in summary.emit_sites:
+                if site.cls == "EngineHooks":
+                    continue
+                event = site.event[len("emit_"):]
+                spec = registry.get(event)
+                if spec is None:
+                    if self._hooksish(site.receiver):
+                        known = ", ".join(sorted(registry))
+                        yield self.project_finding(
+                            summary.path, site.line,
+                            f"`{site.event}` names no EngineHooks event "
+                            f"(registry: {known})",
+                        )
+                    continue
+                if site.has_star:
+                    continue
+                yield from self._check_arity(summary.path, site, spec)
+            for site in summary.sub_sites:
+                if site.cls == "EngineHooks":
+                    continue
+                event = site.event[len("on_"):]
+                spec = registry.get(event)
+                if spec is None:
+                    if self._hooksish(site.receiver):
+                        yield self.project_finding(
+                            summary.path, site.line,
+                            f"`{site.event}` subscribes to no EngineHooks "
+                            "event",
+                        )
+                    continue
+                yield from self._check_handler(index, summary, site, spec)
+
+    def _check_arity(
+        self, path: str, site: EmitSite, spec: "EventSpec"
+    ) -> Iterator[Finding]:
+        nargs = site.nargs
+        kwnames = site.kwnames
+        params = spec.params
+        if nargs > spec.max_args:
+            yield self.project_finding(
+                path, site.line,
+                f"`{site.event}` takes at most {spec.max_args} "
+                f"argument{'s' if spec.max_args != 1 else ''} "
+                f"({', '.join(params)}); this call passes {nargs}",
+            )
+            return
+        unknown = [kw for kw in kwnames if kw not in params]
+        if unknown:
+            yield self.project_finding(
+                path, site.line,
+                f"`{site.event}` has no keyword "
+                f"`{unknown[0]}` (payload: {', '.join(params)})",
+            )
+            return
+        filled = set(params[:nargs]) | set(kwnames)
+        missing = [
+            p for p in params[: spec.min_args] if p not in filled
+        ]
+        if missing:
+            yield self.project_finding(
+                path, site.line,
+                f"`{site.event}` is missing required payload "
+                f"argument{'s' if len(missing) != 1 else ''} "
+                f"{', '.join(f'`{m}`' for m in missing)}",
+            )
+
+    def _check_handler(
+        self,
+        index: "ProjectIndex",
+        summary: FileSummary,
+        site: SubSite,
+        spec: "EventSpec",
+    ) -> Iterator[Finding]:
+        want = len(spec.params)
+        got: Optional[int] = None
+        label = ""
+        if site.handler_kind == "lambda":
+            if site.handler_vararg:
+                return
+            got = site.handler_nargs
+            label = "lambda handler"
+        elif site.handler_kind == "self_method" and site.cls:
+            qual = (
+                f"{summary.module}.{site.cls}" if summary.module else site.cls
+            )
+            resolved = index.resolve_method(qual, site.handler_name)
+            if resolved is None or resolved[1].has_vararg:
+                return
+            got = len(resolved[1].params) - resolved[1].n_defaults
+            if got <= want <= len(resolved[1].params):
+                return
+            got = len(resolved[1].params)
+            label = f"handler `{site.handler_name}`"
+        elif site.handler_kind == "name":
+            fn = summary.functions.get(site.handler_name)
+            if fn is None or fn.has_vararg:
+                return
+            got = len(fn.params) - fn.n_defaults
+            if got <= want <= len(fn.params):
+                return
+            got = len(fn.params)
+            label = f"handler `{site.handler_name}`"
+        else:
+            return
+        if got == want:
+            return
+        yield self.project_finding(
+            summary.path, site.line,
+            f"`{site.event}` delivers {want} "
+            f"argument{'s' if want != 1 else ''} "
+            f"({', '.join(spec.params)}) but the {label} accepts {got}",
+        )
+
+
+class StalePragmaRule(ProjectRule):
+    """R012: a ``lint: disable`` pragma that suppresses nothing."""
+
+    code = "R012"
+    name = "stale-pragma"
+    description = (
+        "a `# lint: disable` pragma must suppress at least one finding; "
+        "stale pragmas hide future regressions on their line"
+    )
+    runs_last = True
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        for summary in index.files.values():
+            hits = index.rule_hits.get(summary.path, set())
+            by_line: Dict[int, Set[str]] = {}
+            for line, code in hits:
+                by_line.setdefault(line, set()).add(code)
+            for line in sorted(summary.pragmas):
+                codes = set(summary.pragmas[line])
+                if "R012" in codes:
+                    # A pragma explicitly acknowledging this rule is the
+                    # sanctioned opt-out; reporting it would be circular.
+                    continue
+                fired = by_line.get(line, set())
+                if "*" in codes:
+                    if fired:
+                        continue
+                    yield self.project_finding(
+                        summary.path, line,
+                        "blanket `# lint: disable` pragma suppresses "
+                        "nothing: no rule fires on this line",
+                    )
+                    continue
+                dead = sorted(codes - fired)
+                if len(dead) == len(codes):
+                    listed = ", ".join(dead)
+                    yield self.project_finding(
+                        summary.path, line,
+                        f"stale pragma: `# lint: disable={listed}` "
+                        "suppresses nothing on this line",
+                    )
+
+
+__all__ = [
+    "PhaseRaceRule",
+    "RngStreamRule",
+    "SerializationReadinessRule",
+    "HookContractRule",
+    "StalePragmaRule",
+]

@@ -15,9 +15,12 @@ ownership table.  Two obligations keep that machinery sound:
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from ..lint import FileContext, Finding, LintRule
+
+if TYPE_CHECKING:
+    from ..flow.index import ProjectIndex
 
 #: Hooks that satisfy the "implements the per-cycle step" obligation.
 _STEP_HOOKS = {"step", "_advance"}
@@ -102,6 +105,48 @@ class RouterSubclassRule(LintRule):
                     "`super().__init__()`; input banks, stats, and the "
                     "VC ledger would be left unconstructed",
                 )
+
+    # -- whole-program form --------------------------------------------
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        """Index-based form: family membership comes from the resolved
+        MRO, so a subclass two modules and one rename away from
+        ``Router`` (the per-file rule's blind spot) is still bound by
+        the contract."""
+        for qual, summary, cls in index.iter_classes():
+            if not index.is_router_family(qual):
+                continue
+            if self._is_direct_router_child(index, summary.module, cls.bases):
+                if not (_STEP_HOOKS & set(cls.methods)):
+                    yield self.project_finding(
+                        summary.path, cls.line,
+                        f"Router subclass `{cls.name}` defines neither "
+                        "`step` nor `_advance`; the organization would "
+                        "inherit a cycle loop that moves nothing",
+                    )
+            init = cls.methods.get("__init__")
+            if init is not None and not init.calls_super_init and not any(
+                base.rsplit(".", 1)[-1].endswith("Router")
+                or index.resolve_class(base, summary.module) is not None
+                for base in init.explicit_init_bases
+            ):
+                yield self.project_finding(
+                    summary.path, init.line,
+                    f"`{cls.name}.__init__` never calls "
+                    "`super().__init__()`; input banks, stats, and the "
+                    "VC ledger would be left unconstructed",
+                )
+
+    @staticmethod
+    def _is_direct_router_child(
+        index: "ProjectIndex", module: str, bases: "list[str]"
+    ) -> bool:
+        for base in bases:
+            resolved = index.resolve_class(base, module)
+            simple = (resolved or base).rsplit(".", 1)[-1]
+            if simple == "Router":
+                return True
+        return False
 
 
 __all__ = ["RouterSubclassRule"]

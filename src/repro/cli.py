@@ -15,7 +15,10 @@ Gives the library's main experiments a shell entry point:
 * ``faults`` — deterministic fault-injection sweep (see
   :mod:`repro.faults`): degraded throughput/latency and recovery
   counters as the fault rate rises;
-* ``lint`` — the repository's AST lint pass (rules R001-R007).
+* ``lint`` — the repository's whole-program AST lint pass (rules
+  R001-R012, with ``--select``/``--ignore`` filters, ``--format
+  {text,json,sarif}``, a content-hash summary cache, and a baseline
+  file for grandfathered findings).
 
 Examples::
 
@@ -387,11 +390,28 @@ def cmd_faults(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.lint import run_lint
 
+    if args.write_baseline and not args.baseline:
+        print("lint: --write-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
     try:
-        return run_lint(args.paths)
+        return run_lint(
+            args.paths,
+            select=args.select,
+            ignore=args.ignore,
+            output_format=args.format,
+            output_path=args.output,
+            cache_path=None if args.no_cache else args.cache,
+            baseline_path=args.baseline,
+            write_baseline=args.write_baseline,
+        )
     except FileNotFoundError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+
+
+def _codes_arg(value: str) -> Sequence[str]:
+    return [c.strip() for c in value.split(",") if c.strip()]
 
 
 def cmd_radix(args: argparse.Namespace) -> int:
@@ -529,9 +549,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_router_args(faults)
     faults.set_defaults(func=cmd_faults)
 
-    lint = subs.add_parser("lint", help="AST lint pass (R001-R007)")
+    lint = subs.add_parser(
+        "lint", help="whole-program AST lint pass (R001-R012)"
+    )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
+    lint.add_argument("--select", type=_codes_arg, default=None,
+                      metavar="CODES",
+                      help="comma-separated rule codes to run exclusively "
+                           "(e.g. R006,R008)")
+    lint.add_argument("--ignore", type=_codes_arg, default=None,
+                      metavar="CODES",
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="output format (json/sarif are deterministic)")
+    lint.add_argument("--output", default=None, metavar="FILE",
+                      help="write the report to FILE instead of stdout")
+    lint.add_argument("--cache", default=".lint-cache.json", metavar="FILE",
+                      help="summary-cache store keyed on content hashes "
+                           "(default: .lint-cache.json)")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the summary cache for this run")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="suppress findings recorded in this baseline "
+                           "file")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="write current findings to --baseline and exit 0")
     lint.set_defaults(func=cmd_lint)
 
     radix = subs.add_parser("radix", help="Section 2 optimal radix")

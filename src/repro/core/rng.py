@@ -10,7 +10,7 @@ process, so a stable digest is used instead).
 from __future__ import annotations
 
 import hashlib
-import random  # lint: disable=R001  (this module is the one sanctioned user)
+import random  # this module is R001's one sanctioned user (rule-exempt)
 
 #: The RNG stream type handed out by :func:`derive_rng`.  Modules that
 #: only *consume* randomness annotate their parameters with this alias

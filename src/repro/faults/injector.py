@@ -109,6 +109,22 @@ class _ChannelFaults:
         return True
 
 
+class _DropHook:
+    """Credit-loss tap installed on credit pipes/buses.
+
+    A module-level callable class rather than a bound method so the
+    router object graph stays picklable for checkpoint/restore.
+    """
+
+    __slots__ = ("injector",)
+
+    def __init__(self, injector: "SwitchFaultInjector") -> None:
+        self.injector = injector
+
+    def __call__(self, sink: Callable[[], None]) -> bool:
+        return self.injector.maybe_drop(sink)
+
+
 class SwitchFaultInjector:
     """Applies a FaultPlan to one standalone switch simulation.
 
@@ -169,7 +185,7 @@ class SwitchFaultInjector:
         if pipe is not None:
             taps.append(pipe)
         for tap in taps:
-            tap.drop_hook = self._maybe_drop
+            tap.drop_hook = _DropHook(self)
         self.credit_capable = bool(taps)
         self._map_counters()
 
@@ -240,8 +256,8 @@ class SwitchFaultInjector:
     # Credit loss
     # ------------------------------------------------------------------
 
-    def _maybe_drop(self, sink: Callable[[], None]) -> bool:
-        """drop_hook installed on the router's credit pipes/buses."""
+    def maybe_drop(self, sink: Callable[[], None]) -> bool:
+        """drop_hook decision, called through the installed :class:`_DropHook`."""
         if self._credit_rng.random() >= self.plan.credit_loss_rate:
             return False
         self._lost.append(

@@ -57,6 +57,59 @@ class NetworkConfig:
         )
 
 
+class _RouterSink:
+    """Delivery callable for a router-to-router channel.
+
+    A module-level class rather than a closure so the wired network
+    stays picklable for checkpoint/restore; the sanitizer reads the
+    wiring off :attr:`target`/:attr:`port`.
+    """
+
+    __slots__ = ("sim", "target", "port")
+
+    def __init__(
+        self, sim: "NetworkSimulation", target: NetworkRouter, port: int
+    ) -> None:
+        self.sim = sim
+        self.target = target
+        self.port = port
+
+    def __call__(self, flit: Flit, arrival: int) -> None:
+        sim = self.sim
+        heapq.heappush(
+            sim._inflight,
+            (arrival, next(sim._seq), flit, (self.target, self.port)),
+        )
+
+
+class _HostSink:
+    """Delivery callable for a router-to-host ejection channel."""
+
+    __slots__ = ("sim", "host")
+
+    def __init__(self, sim: "NetworkSimulation", host: Optional[int]) -> None:
+        self.sim = sim
+        self.host = host
+
+    def __call__(self, flit: Flit, arrival: int) -> None:
+        sim = self.sim
+        heapq.heappush(
+            sim._inflight, (arrival, next(sim._seq), flit, self.host)
+        )
+
+
+class _CreditSink:
+    """Credit-return callable restoring an upstream link's counter."""
+
+    __slots__ = ("link",)
+
+    def __init__(self, link: OutputLink) -> None:
+        self.link = link
+
+    def __call__(self, vc: int) -> None:
+        self.link.restore_credit(vc)
+
+
 class NetworkSimulation:
     """End-to-end simulation of a network of routers on any topology."""
 
@@ -164,47 +217,20 @@ class NetworkSimulation:
                 if ref.switch is None:
                     link = OutputLink(
                         self.config.num_vcs,
-                        self._make_host_sink(ref.host),
+                        _HostSink(self, ref.host),
                         downstream_depth=None,
                     )
                 else:
                     target = self.routers[ref.switch]
                     link = OutputLink(
                         self.config.num_vcs,
-                        self._make_router_sink(target, ref.port),
+                        _RouterSink(self, target, ref.port),
                         downstream_depth=self.config.buffer_depth,
                     )
                     # Credit return path: when the downstream router
                     # frees the slot, restore this link's counter.
-                    target.credit_sinks[ref.port] = self._make_credit_sink(link)
+                    target.credit_sinks[ref.port] = _CreditSink(link)
                 router.attach(port, link)
-
-    def _make_router_sink(self, target: NetworkRouter, port: int):
-        def deliver(flit: Flit, arrival: int) -> None:
-            heapq.heappush(
-                self._inflight, (arrival, next(self._seq), flit, (target, port))
-            )
-
-        # Expose the wiring for NetworkSanitizer's credit probe.
-        deliver.target = target  # type: ignore[attr-defined]
-        deliver.port = port  # type: ignore[attr-defined]
-        return deliver
-
-    def _make_host_sink(self, host: Optional[int]):
-        def deliver(flit: Flit, arrival: int) -> None:
-            heapq.heappush(
-                self._inflight, (arrival, next(self._seq), flit, host)
-            )
-
-        return deliver
-
-    @staticmethod
-    def _make_credit_sink(link: OutputLink):
-        def restore(vc: int) -> None:
-            link.restore_credit(vc)
-
-        restore.link = link  # type: ignore[attr-defined]
-        return restore
 
     # ------------------------------------------------------------------
     # Simulation loop

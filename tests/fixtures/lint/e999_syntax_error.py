@@ -1,0 +1,3 @@
+"""E999 fixture: an unparseable module still gets a located finding."""
+
+def broken(:

@@ -1,0 +1,5 @@
+"""R001 fixture: direct ``random`` use outside repro.core.rng."""
+
+import random
+
+choice = random.random()

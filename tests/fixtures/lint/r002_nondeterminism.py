@@ -1,0 +1,8 @@
+"""R002 fixture: wall clock and unordered-set iteration."""
+
+import time
+
+started = time.time()
+
+for item in {3, 1, 2}:
+    print(item)

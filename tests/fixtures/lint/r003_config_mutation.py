@@ -1,0 +1,6 @@
+"""R003 fixture: mutating a frozen RouterConfig."""
+
+
+def widen(config):
+    config.radix = 64
+    return config

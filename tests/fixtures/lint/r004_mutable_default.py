@@ -1,0 +1,6 @@
+"""R004 fixture: mutable default argument."""
+
+
+def collect(items=[]):
+    items.append(1)
+    return items

@@ -1,0 +1,13 @@
+"""R005 fixture, file 1/2: a clean intermediate Router subclass.
+
+``MeshSwitch`` deliberately does *not* end in ``Router`` — the
+per-file rule's name heuristic cannot see that subclasses of it are in
+the Router family; the project index can.
+"""
+
+from repro.routers.base import Router
+
+
+class MeshSwitch(Router):
+    def _advance(self):
+        pass

@@ -1,0 +1,16 @@
+"""R005 fixture, file 2/2: an indirect Router subclass that forgets
+to chain ``__init__`` — invisible per-file, caught whole-program —
+and a direct subclass missing the per-cycle step hook."""
+
+from r005_cross_module_base import MeshSwitch
+from repro.routers.base import Router
+
+
+class BadSwitch(MeshSwitch):
+    def __init__(self, config):
+        self.config = config
+
+
+class StalledSwitch(Router):
+    def drain(self):
+        return ()

@@ -1,0 +1,10 @@
+"""R006 fixture: compute mutates committed state directly."""
+
+
+class LeakyComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self.occupancy = self.occupancy + 1
+
+    def commit(self, cycle):
+        pass

@@ -1,0 +1,10 @@
+"""R007 fixture: hook emission from the speculative compute phase."""
+
+
+class ChattyComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self.hooks.emit_stage_enter(None, "RC", 0, cycle)
+
+    def commit(self, cycle):
+        pass

@@ -1,0 +1,48 @@
+"""R008 fixture: impurity reached through compute call chains, and a
+commit that writes another component's compute-read state."""
+
+
+class RacyComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self._staged = self._scan(cycle)
+
+    def _scan(self, cycle):
+        self.seen = self.seen + 1
+        return ()
+
+    def commit(self, cycle):
+        self._staged = ()
+
+
+class DeepComponent:
+    def compute(self, cycle):
+        self._staged = self._gather()
+
+    def _gather(self):
+        return self._drain()
+
+    def _drain(self):
+        self.hooks.emit_grant(None, 0, 0)
+        return ()
+
+    def commit(self, cycle):
+        pass
+
+
+class ReaderComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+        self._staged = len(self.queue)
+
+    def commit(self, cycle):
+        pass
+
+
+class IntruderComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+
+    def commit(self, cycle):
+        peer = self.peer
+        peer.queue = ()

@@ -1,0 +1,13 @@
+"""R009 fixture: duplicate, unstable, and module-level RNG streams."""
+
+from repro.core.rng import derive_rng
+
+SHARED = derive_rng(1, "corpus", "shared")
+
+
+def make_streams(seed, component):
+    first = derive_rng(seed, "corpus", "traffic")
+    second = derive_rng(seed, "corpus", "traffic")
+    unstable = derive_rng(seed, id(component))
+    unordered = derive_rng(seed, {1, 2, 3})
+    return first, second, unstable, unordered

@@ -1,0 +1,30 @@
+"""R010 fixture: unpicklable values stored on component state."""
+
+import threading
+
+
+class HoardingComponent:
+    def __init__(self, path):
+        self.on_eject = lambda flit: flit
+        self.pending = (n for n in range(4))
+        self.journal = open(path)
+        self.guard = threading.Lock()
+        self.callback = self.commit
+        self.sink = self._make_sink()
+
+    def _make_sink(self):
+        def sink(value):
+            return (self, value)
+
+        return sink
+
+    def compute(self, cycle):
+        self.cycle = cycle
+
+    def commit(self, cycle):
+        pass
+
+
+class Wirer:
+    def wire(self, peer):
+        peer.handler = lambda value: value

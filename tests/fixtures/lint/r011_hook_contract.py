@@ -1,0 +1,54 @@
+"""R011 fixture: emit/subscribe sites against the event registry.
+
+The ``EngineHooks`` class below *is* the registry for the corpus — the
+index recovers events from its ``emit_*`` signatures, exactly as it
+does from :class:`repro.engine.hooks.EngineHooks` when linting ``src``.
+"""
+
+
+class EngineHooks:
+    def emit_cycle_start(self, cycle):
+        pass
+
+    def emit_flit_move(self, kind, flit, port, cycle):
+        pass
+
+    def emit_grant(self, flit, out_port, cycle):
+        pass
+
+    def emit_credit(self, port, vc, cycle):
+        pass
+
+    def emit_stage_enter(self, flit, stage, port, cycle):
+        pass
+
+    def on_cycle_start(self, fn):
+        pass
+
+    def on_grant(self, fn):
+        pass
+
+    def on_credit(self, fn):
+        pass
+
+
+def log_grant(flit, out_port, cycle):
+    return (flit, out_port, cycle)
+
+
+def log_credit(port):
+    return port
+
+
+hooks = EngineHooks()
+
+hooks.emit_cycle_start(0)
+hooks.emit_flit_moved("accept", None, 0, 0)
+hooks.emit_grant(None, 0, 1, 2)
+hooks.emit_credit(0, vc=1)
+hooks.emit_stage_enter(None, "ST", port=3, lane=4)
+
+hooks.on_cycle_started(log_grant)
+hooks.on_grant(log_grant)
+hooks.on_grant(lambda flit: None)
+hooks.on_credit(log_credit)

@@ -1,0 +1,6 @@
+"""R012 fixture: suppressions that suppress nothing."""
+
+import random  # lint: disable=R001
+
+width = 16  # lint: disable=R001
+depth = 8  # lint: disable
