@@ -61,6 +61,11 @@ def test_perf_router_step(benchmark, name):
 # ----------------------------------------------------------------------
 
 SPEEDUP_FLOOR = 1.5
+
+#: The event scheduler must beat the cycle stepper by this much on the
+#: radix-64 low-load Clos drive loop (the working target is 10x).
+EVENT_FF_FLOOR = 5.0
+
 ROUNDS = 3
 
 
@@ -280,6 +285,59 @@ def test_perf_active_set_radix64_low_load(benchmark):
     assert speedup >= SPEEDUP_FLOOR, (
         f"active-set speedup {speedup:.2f}x below {SPEEDUP_FLOOR}x "
         f"(exhaustive {exhaustive:.3f}s, active {active:.3f}s)"
+    )
+
+
+def test_perf_event_ff_clos_radix64(benchmark):
+    """Radix-64 Clos at very low load: fast-forward must pay >= 5x.
+
+    The ratio compares the drive loops only — each round constructs a
+    fresh simulation outside its clock, because event mode pays a
+    one-time cost mirroring the host RNG streams into numpy that
+    amortizes over windows far longer than this one, while the
+    contract under test is the per-cycle loop inversion.  10x is the
+    working target on this configuration; 5x is the asserted floor.
+    """
+    load = 5e-5
+    cycles = 2500
+
+    def run(scheduler):
+        sim = ClosNetworkSimulation(
+            NetworkConfig(radix=64, levels=2, num_vcs=2, packet_size=2,
+                          seed=5),
+            load, scheduler=scheduler,
+        )
+        start = time.perf_counter()  # lint: disable=R002
+        sim.run_until(cycles)
+        elapsed = time.perf_counter() - start  # lint: disable=R002
+        resident = sum(r.occupancy() for r in sim.routers.values())
+        checksum = (len(sim._inflight), resident,
+                    sim._scheduler.component_steps)
+        return elapsed, checksum
+
+    def best_of(scheduler):
+        best, checksum = None, None
+        for _ in range(ROUNDS):
+            elapsed, value = run(scheduler)
+            best = elapsed if best is None else min(best, elapsed)
+            if checksum is None:
+                checksum = value
+            else:
+                assert value == checksum, "run is not deterministic"
+        return best, checksum
+
+    def timed_event():
+        _, checksum = run("event")
+        return checksum
+
+    recorded = benchmark.pedantic(timed_event, rounds=ROUNDS, iterations=1)
+    cycle_time, ref = best_of("cycle")
+    event_time, checksum = best_of("event")
+    assert recorded == checksum == ref, "scheduler changed the simulation"
+    speedup = cycle_time / event_time
+    assert speedup >= EVENT_FF_FLOOR, (
+        f"fast-forward speedup {speedup:.2f}x below {EVENT_FF_FLOOR}x "
+        f"(cycle {cycle_time:.3f}s, event {event_time:.3f}s)"
     )
 
 

@@ -37,9 +37,13 @@ R011  hook-contract               ``emit_*`` sites match the
                                   accept the payload
 R012  stale-pragma                Every ``# lint: disable`` pragma
                                   suppresses at least one finding
+R013  observer-purity             Scheduler probes (``busy``,
+                                  ``next_event``) and their call
+                                  chains never mutate state or emit
+                                  hook events
 ===== ==========================  ====================================
 
-R001-R004 are per-file (and cached by content hash); R005-R012 run
+R001-R004 are per-file (and cached by content hash); R005-R013 run
 against the whole-program :class:`~repro.analysis.flow.index.
 ProjectIndex`.  R005-R007 keep a degraded per-file form for editor
 integration and :func:`~repro.analysis.lint.lint_file`.
@@ -55,6 +59,7 @@ from .determinism import DirectRandomRule, NondeterminismRule
 from .engine_rules import ComputePhasePurityRule, HookEmissionPhaseRule
 from .flow_rules import (
     HookContractRule,
+    ObserverPurityRule,
     PhaseRaceRule,
     RngStreamRule,
     SerializationReadinessRule,
@@ -83,6 +88,7 @@ def all_rules() -> List[LintRule]:
         SerializationReadinessRule(),
         HookContractRule(),
         StalePragmaRule(),
+        ObserverPurityRule(),
     ]
     assert [r.code for r in rules] == sorted(r.code for r in rules)
     return rules
@@ -102,4 +108,5 @@ __all__ = [
     "SerializationReadinessRule",
     "HookContractRule",
     "StalePragmaRule",
+    "ObserverPurityRule",
 ]

@@ -494,7 +494,127 @@ class StalePragmaRule(ProjectRule):
                     )
 
 
+#: Scheduler probe methods on two-phase components: called zero, one,
+#: or many times per cycle by the engine (parking, fast-forward horizon
+#: computation), so they must be observably side-effect free.
+OBSERVER_METHODS = ("busy", "next_event")
+
+
+def _observer_impurity(
+    method: MethodSummary,
+) -> Optional[Tuple[str, int]]:
+    """Why a method is unsafe as a scheduler probe, with the offending
+    line — or ``None``.
+
+    Stricter than :func:`_method_impurity`: probes run outside both
+    phases, so even the writes ``compute`` is allowed (``self.cycle``,
+    ``self._staged*``) are forbidden here.
+    """
+    for w in method.self_writes:
+        return f"writes `self.{w.attr}`", w.line
+    for w in method.cross_writes:
+        if w.root:
+            return f"writes `{w.root}.{w.attr}`", w.line
+    if method.emits:
+        return f"emits `{method.emits[0].event}`", method.emits[0].line
+    return None
+
+
+class ObserverPurityRule(ProjectRule):
+    """R013: ``busy``/``next_event`` and their call chains stay pure.
+
+    The scheduler calls these probes between cycles — to park idle
+    components and to compute the fast-forward horizon — any number of
+    times (including zero: the cycle stepper never calls
+    ``next_event``).  A probe that mutates state or emits hook events
+    makes simulation results depend on *how often the scheduler asked*,
+    which breaks the cycle/event byte-identity contract.
+    """
+
+    code = "R013"
+    name = "observer-purity"
+    description = (
+        "busy/next_event are scheduler probes called zero or more "
+        "times per cycle; they and their self-call chains must not "
+        "write state or emit hook events"
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        emitted: Set[Tuple[str, int, str]] = set()
+        for qual, _, _ in index.iter_classes():
+            if not index.is_two_phase(qual):
+                continue
+            for probe in OBSERVER_METHODS:
+                for finding in self._check_probe(index, qual, probe):
+                    key = (finding.path, finding.line, finding.message)
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield finding
+
+    def _check_probe(
+        self, index: "ProjectIndex", qual: str, probe: str
+    ) -> Iterator[Finding]:
+        resolved = index.resolve_method(qual, probe)
+        if resolved is None:
+            return
+        owner, method = resolved
+        path = _class_path(index, owner)
+        cls_name = owner.rsplit(".", 1)[-1]
+        direct = _observer_impurity(method)
+        if direct is not None:
+            reason, line = direct
+            yield self.project_finding(
+                path, line,
+                f"`{cls_name}.{probe}` {reason}; scheduler probes run "
+                "outside the compute/commit phases and may be called "
+                "any number of times per cycle, so they must be "
+                "side-effect free",
+            )
+        visited: Set[str] = set()
+        for call in method.self_calls:
+            reason, chain = self._find_impure(
+                index, qual, call.name, visited
+            )
+            if reason is None:
+                continue
+            via = ""
+            if len(chain) > 1:
+                via = " (via `" + "` -> `".join(chain) + "`)"
+            yield self.project_finding(
+                path, call.line,
+                f"`{cls_name}.{probe}` calls `self.{call.name}()`, "
+                f"which {reason}{via}; scheduler probes must stay pure "
+                "through their whole call chain",
+            )
+
+    def _find_impure(
+        self,
+        index: "ProjectIndex",
+        qual: str,
+        name: str,
+        visited: Set[str],
+    ) -> Tuple[Optional[str], List[str]]:
+        if name in visited or name in ("compute", "commit"):
+            return None, []
+        visited.add(name)
+        resolved = index.resolve_method(qual, name)
+        if resolved is None:
+            return None, []
+        _, method = resolved
+        direct = _observer_impurity(method)
+        if direct is not None:
+            return direct[0], [name]
+        for call in method.self_calls:
+            deeper, chain = self._find_impure(
+                index, qual, call.name, visited
+            )
+            if deeper is not None:
+                return deeper, [name] + chain
+        return None, []
+
+
 __all__ = [
+    "ObserverPurityRule",
     "PhaseRaceRule",
     "RngStreamRule",
     "SerializationReadinessRule",

@@ -16,7 +16,7 @@ Gives the library's main experiments a shell entry point:
   :mod:`repro.faults`): degraded throughput/latency and recovery
   counters as the fault rate rises;
 * ``lint`` — the repository's whole-program AST lint pass (rules
-  R001-R012, with ``--select``/``--ignore`` filters, ``--format
+  R001-R013, with ``--select``/``--ignore`` filters, ``--format
   {text,json,sarif}``, a content-hash summary cache, and a baseline
   file for grandfathered findings).
 
@@ -138,6 +138,15 @@ def _add_router_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--seed", type=int, default=1)
 
 
+def _add_scheduler_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--scheduler", choices=("cycle", "event"), default="cycle",
+        help="drive loop: 'cycle' steps every cycle, 'event' "
+             "fast-forwards provably idle spans (byte-identical "
+             "results)",
+    )
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     cls = ARCHITECTURES[args.arch]
@@ -156,6 +165,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             injection=args.injection,
             settings=_settings(args),
             processes=args.jobs,
+            scheduler=args.scheduler,
         )
     else:
         sweep = run_load_sweep(
@@ -164,6 +174,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             pattern_factory=pattern_factory,
             injection=args.injection,
             settings=_settings(args),
+            scheduler=args.scheduler,
         )
     print(format_sweeps(
         [sweep],
@@ -221,6 +232,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         pattern=_make_pattern(args.pattern, config),
         injection=args.injection,
         sanitize=args.sanitize,
+        scheduler=args.scheduler,
     )
     try:
         result = sim.run(_settings(args))
@@ -360,6 +372,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             injection=args.injection,
             sanitize=args.sanitize,
             faults=plan if plan.enabled else None,
+            scheduler=args.scheduler,
         )
         try:
             result = sim.run(_settings(args))
@@ -426,13 +439,29 @@ def cmd_radix(args: argparse.Namespace) -> int:
 
 
 def cmd_network(args: argparse.Namespace) -> int:
+    from .faults import FaultPlan
+
+    for name in ("corrupt_rate", "credit_loss"):
+        rate = getattr(args, name)
+        if not 0.0 <= rate < 1.0:
+            print(f"network: {name.replace('_', '-')} {rate} "
+                  f"outside [0, 1)", file=sys.stderr)
+            return 2
+    plan = FaultPlan(
+        corrupt_rate=args.corrupt_rate,
+        credit_loss_rate=args.credit_loss,
+    )
     rows = []
     for name, radix, levels in (
         ("high-radix", args.high_radix, args.high_levels),
         ("low-radix", args.low_radix, args.low_levels),
     ):
         cfg = NetworkConfig(radix=radix, levels=levels)
-        sim = ClosNetworkSimulation(cfg, args.load, sanitize=args.sanitize)
+        sim = ClosNetworkSimulation(
+            cfg, args.load, sanitize=args.sanitize,
+            faults=plan if plan.enabled else None,
+            scheduler=args.scheduler,
+        )
         r = sim.run(warmup=args.warmup, measure=args.measure,
                     drain=args.drain)
         rows.append((
@@ -443,7 +472,9 @@ def cmd_network(args: argparse.Namespace) -> int:
         ["network", "radix", "stages", "hosts", "avg latency",
          "throughput"],
         rows,
-        title=f"Clos comparison at load {args.load}",
+        title=f"Clos comparison at load {args.load}"
+              + (f", corrupt-rate {args.corrupt_rate}"
+                 if plan.enabled else ""),
     ))
     return 0
 
@@ -496,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes (default: 1, serial; results "
                             "are identical either way)")
     _add_router_args(sweep)
+    _add_scheduler_arg(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     sat = subs.add_parser("saturate", help="saturation throughput")
@@ -510,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--sanitize", action="store_true",
                      help="verify conservation invariants every cycle")
     _add_router_args(run)
+    _add_scheduler_arg(run)
     run.set_defaults(func=cmd_run)
 
     trace = subs.add_parser(
@@ -547,10 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="verify conservation invariants every cycle "
                              "(injected losses are accounted for)")
     _add_router_args(faults)
+    _add_scheduler_arg(faults)
     faults.set_defaults(func=cmd_faults)
 
     lint = subs.add_parser(
-        "lint", help="whole-program AST lint pass (R001-R012)"
+        "lint", help="whole-program AST lint pass (R001-R013)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")
@@ -599,6 +633,12 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--drain", type=int, default=8000)
     net.add_argument("--sanitize", action="store_true",
                      help="check link credit conservation every cycle")
+    net.add_argument("--corrupt-rate", type=float, default=0.0,
+                     help="host-channel flit corruption probability "
+                          "(builds a fault plan when nonzero)")
+    net.add_argument("--credit-loss", type=float, default=0.0,
+                     help="credit-loss probability per delivery")
+    _add_scheduler_arg(net)
     net.set_defaults(func=cmd_network)
 
     pipe = subs.add_parser("pipeline",

@@ -100,6 +100,15 @@ class DelayedCreditPipe:
     def pending(self) -> int:
         return len(self._inflight)
 
+    def next_due(self) -> "int | None":
+        """Delivery cycle of the earliest in-flight credit, or None.
+
+        Horizon for event-driven scheduling: the FIFO head is the
+        minimum because a fixed latency makes due cycles monotonic in
+        send order.  Pure read.
+        """
+        return self._inflight[0][0] if self._inflight else None
+
     def pending_sinks(self) -> List[Callable[[], None]]:
         """Undelivered sink callbacks (for credit-conservation probes)."""
         return [sink for _, sink in self._inflight]
@@ -173,6 +182,17 @@ class CreditReturnBus:
         """Every undelivered sink: waiting for the bus or on the wire."""
         waiting = [sink for q in self._pending for sink in q]
         return waiting + self._pipe.pending_sinks()
+
+    def next_due(self, now: int) -> "int | None":
+        """Earliest cycle at which the bus has deliverable work.
+
+        Credits waiting for bus arbitration need the very next cycle
+        (one crosses per cycle); otherwise the in-flight wire head is
+        the horizon.  Pure read.
+        """
+        if self.backlog():
+            return now + 1
+        return self._pipe.next_due()
 
     def idle(self) -> bool:
         return self.backlog() == 0 and self._pipe.pending() == 0

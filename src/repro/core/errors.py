@@ -25,6 +25,27 @@ class SimulationError(Exception):
     """Base class for errors raised by the simulation models."""
 
 
+class UnregisteredComponentError(SimulationError):
+    """A scheduler operation named a component it does not drive.
+
+    Raised by :meth:`repro.engine.Scheduler.wake` (instead of the
+    opaque ``KeyError`` on an object id it used to leak) when the
+    target component was never registered — typically a harness wiring
+    bug where an arrival sink points at a router outside the scheduled
+    set.  Names the component so the broken wiring is identifiable.
+    """
+
+    def __init__(self, component: Any) -> None:
+        name = getattr(component, "name", None)
+        label = type(component).__name__ + (f" {name!r}" if name else "")
+        self.component = component
+        super().__init__(
+            f"component {label} is not registered with this scheduler; "
+            f"register() it before wake() (or check the harness wiring "
+            f"that delivered the event)"
+        )
+
+
 class InvariantViolation(AssertionError, SimulationError):
     """A simulation invariant (conservation law, ownership rule) broke.
 

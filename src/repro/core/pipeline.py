@@ -52,6 +52,17 @@ class DelayLine(Generic[T]):
         """Return matured items without removing them."""
         return [item for due, _, item in self._heap if due <= now]
 
+    def next_due(self) -> "int | None":
+        """Maturity cycle of the earliest queued item, or None.
+
+        The delivery-time horizon consumed by event-driven scheduling
+        (:class:`repro.engine.EventScheduler`): a parked component whose
+        only pending work sits in delay lines must next run at the
+        earliest ``next_due`` among them.  Pure read — the heap head is
+        the minimum by construction.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def items(self) -> List[T]:
         """Every queued item, matured or not (for invariant probes)."""
         return [item for _, _, item in self._heap]

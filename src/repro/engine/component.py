@@ -19,6 +19,8 @@ another's same-cycle output a phase early.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from .hooks import EngineHooks
 
 
@@ -69,6 +71,24 @@ class Component:
         (delivered via :meth:`on_wake`) makes it busy again.
         """
         return True
+
+    def next_event(self, now: int) -> Optional[int]:
+        """Horizon: earliest future cycle this component must next run.
+
+        Consulted by :class:`~repro.engine.scheduler.EventScheduler`
+        when the component is parked, to decide how far the simulation
+        may fast-forward.  Return the earliest cycle ``> now`` at which
+        the component has self-scheduled work (e.g. a delay-line
+        maturity), or None when only an external wake can make it busy
+        again.  Reporting *earlier* than necessary is safe (the cycle
+        executes as a no-op); reporting later than the real horizon
+        skips live work and corrupts the run.
+
+        Purity contract (lint rule R013): implementations — like
+        :meth:`busy` — must not mutate any state or emit hook events;
+        the scheduler may call them any number of times per cycle.
+        """
+        return None
 
     def set_exhaustive(self) -> None:
         """Switch to the reference schedule: scan everything, always.

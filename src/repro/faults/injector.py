@@ -82,6 +82,15 @@ class _ChannelFaults:
         """False while ``channel`` is backing off after a corruption."""
         return self._retry_at[channel] <= now
 
+    def retry_at(self, channel: int) -> int:
+        """Cycle at which ``channel``'s back-off expires (0 = ready).
+
+        Horizon for event-driven scheduling: a backlogged source whose
+        channel is backing off need not run before this.  Pure read —
+        no RNG is consulted until an actual transmission attempt.
+        """
+        return self._retry_at[channel]
+
     def attempt_transmit(self, channel: int, flit, now: int) -> bool:
         """One transmission attempt; True when the flit goes through."""
         rng = self._rngs[channel]
@@ -247,10 +256,31 @@ class SwitchFaultInjector:
             return True
         return self._channels.channel_ready(port, now)
 
+    def channel_retry_at(self, port: int) -> int:
+        """Back-off expiry cycle for ``port`` (0 when never corrupted)."""
+        if self._channels is None:
+            return 0
+        return self._channels.retry_at(port)
+
     def attempt_transmit(self, port: int, flit, now: int) -> bool:
         if self._channels is None:
             return True
         return self._channels.attempt_transmit(port, flit, now)
+
+    def next_event(self, now: int) -> Optional[int]:
+        """Horizon: the next scheduled stuck event or due credit resync.
+
+        Pure read over the pre-sorted schedule (``_next_event`` cursor)
+        and the resync FIFO (due cycles are monotonic: the timeout is
+        fixed), so event-driven fast-forward never jumps over a fault
+        injection or a recovery.
+        """
+        horizon: Optional[int] = None
+        if self._next_event < len(self._schedule):
+            horizon = self._schedule[self._next_event][0]
+        if self._lost and (horizon is None or self._lost[0][0] < horizon):
+            horizon = self._lost[0][0]
+        return horizon
 
     # ------------------------------------------------------------------
     # Credit loss
@@ -423,10 +453,28 @@ class NetworkFaultInjector:
             return True
         return self._channels.channel_ready(host, now)
 
+    def channel_retry_at(self, host: int) -> int:
+        """Back-off expiry cycle for ``host`` (0 when never corrupted)."""
+        if self._channels is None:
+            return 0
+        return self._channels.retry_at(host)
+
     def attempt_transmit(self, host: int, flit, now: int) -> bool:
         if self._channels is None:
             return True
         return self._channels.attempt_transmit(host, flit, now)
+
+    def next_event(self, now: int) -> Optional[int]:
+        """Horizon: the next scheduled link event or due credit resync.
+
+        Mirrors :meth:`SwitchFaultInjector.next_event`; pure read.
+        """
+        horizon: Optional[int] = None
+        if self._next_event < len(self._schedule):
+            horizon = self._schedule[self._next_event][0]
+        if self._lost and (horizon is None or self._lost[0][0] < horizon):
+            horizon = self._lost[0][0]
+        return horizon
 
     # ------------------------------------------------------------------
     # Credit loss (consulted from NetworkRouter.commit)

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence
 
 from ..core.config import RouterConfig
 from ..core.errors import invariant
-from ..engine import Scheduler
+from ..engine import make_scheduler
 from ..routers.base import Router
 from ..traffic.injection import Bernoulli, InjectionProcess, MarkovOnOff
 from ..traffic.patterns import TrafficPattern, UniformRandom
@@ -69,13 +69,22 @@ class SwitchSimulation:
         active_set: bool = True,
         tracer=None,
         faults=None,
+        scheduler: str = "cycle",
     ) -> None:
         """``faults`` is an optional :class:`~repro.faults.FaultPlan`:
         when set (and enabled) a
         :class:`~repro.faults.SwitchFaultInjector` drives host-channel
         corruption with retransmission, credit loss with resync, and
         the plan's stuck-buffer schedule.  None — or a disabled plan —
-        leaves the simulation byte-identical to a plain run."""
+        leaves the simulation byte-identical to a plain run.
+
+        ``scheduler`` selects the drive loop: ``"cycle"`` executes
+        every cycle; ``"event"`` fast-forwards over spans in which the
+        router is parked and no arrival, injection retry, or fault
+        event is due.  Results are byte-identical either way (the
+        goldens and property tests pin this); only
+        ``stats.engine.cycles_skipped`` / ``stats.engine.ff_jumps``
+        and wall-clock time differ."""
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
         if sanitize:
@@ -91,9 +100,19 @@ class SwitchSimulation:
         self._engine: Router = getattr(router, "inner", router)
         #: The router's event bus (metrics/tracing attach here).
         self.hooks = self._engine.hooks
-        self._sched = Scheduler(
-            [self._engine], hooks=self._engine.hooks, active_set=active_set
+        self._sched = make_scheduler(
+            scheduler,
+            [self._engine],
+            hooks=self._engine.hooks,
+            active_set=active_set,
         )
+        # The drive loop is inverted: the scheduler owns the per-cycle
+        # sequence (faults -> generate -> inject -> engine -> collect)
+        # and this harness contributes its phases and, for event mode,
+        # its wake horizons.
+        self._sched.add_pre_cycle(self._pre_cycle)
+        self._sched.add_post_cycle(self._collect_ejected)
+        self._sched.add_wake_source(self._next_work)
         #: Optional trace collector (see :mod:`repro.trace`): anything
         #: with ``attach(sim)`` and ``fold_stats(stats)``.  Attached
         #: here — before any cycle runs — so lifecycle records start at
@@ -144,7 +163,6 @@ class SwitchSimulation:
         self.sample = LatencySample()
         self.measured_flits = 0
         self._count_flits = False
-        self.cycle = 0
         #: When record_delivered is set, every (flit, eject_cycle) pair
         #: is retained here for inspection (costs memory on long runs).
         self.record_delivered = record_delivered
@@ -152,9 +170,21 @@ class SwitchSimulation:
 
     # ------------------------------------------------------------------
 
+    @property
+    def cycle(self) -> int:
+        """Current simulation cycle (owned by the drive loop)."""
+        return self._sched.now
+
     def step(self) -> None:
-        """One simulation cycle: generate, inject, switch, collect."""
-        now = self.cycle
+        """Advance exactly one simulation cycle."""
+        self._sched.run_until(self._sched.now + 1)
+
+    def run_until(self, end: int) -> int:
+        """Advance the simulation through cycles ``[cycle, end)``."""
+        return self._sched.run_until(end)
+
+    def _pre_cycle(self, now: int) -> None:
+        """Harness work before the engine cycle: faults, traffic."""
         if self._faults is not None:
             # Apply scheduled stuck faults and deliver due credit
             # resyncs before anything else observes this cycle.
@@ -168,7 +198,9 @@ class SwitchSimulation:
                     self._labeled_outstanding += 1
                     self._labeled_total += 1
         self._inject(now)
-        self._sched.run_cycle(now)
+
+    def _collect_ejected(self, now: int) -> None:
+        """Harness work after the engine cycle: delivery accounting."""
         for flit, eject_cycle in self.router.drain_ejected():
             if self.record_delivered:
                 self.delivered.append((flit, eject_cycle))
@@ -177,7 +209,40 @@ class SwitchSimulation:
             if flit.is_tail and flit.measured:
                 self.sample.add(eject_cycle - flit.created_at)
                 self._labeled_outstanding -= 1
-        self.cycle += 1
+
+    def _next_work(self, now: int) -> Optional[int]:
+        """Wake horizon: earliest cycle >= ``now`` with harness work.
+
+        Consulted by event mode before fast-forwarding past a span in
+        which the router is parked: the next pre-drawn packet arrival,
+        the earliest cycle a backlogged source can retry injection
+        (channel bandwidth throttle, fault back-off), and the fault
+        injector's schedule.  Horizons may be conservative (early) but
+        never late — see the engine module docstring.
+        """
+        horizon: Optional[int] = None
+        if self._generating:
+            for src in self.sources:
+                arrival = src.peek_arrival(now)
+                if arrival is not None and (
+                    horizon is None or arrival < horizon
+                ):
+                    horizon = arrival
+        faults = self._faults
+        for i, src in enumerate(self.sources):
+            if not src.queue:
+                continue
+            retry = self._next_inject[i]
+            if faults is not None:
+                retry = max(retry, faults.channel_retry_at(i))
+            retry = max(retry, now)
+            if horizon is None or retry < horizon:
+                horizon = retry
+        if faults is not None:
+            due = faults.next_event(now)
+            if due is not None and (horizon is None or due < horizon):
+                horizon = due
+        return horizon
 
     def _inject(self, now: int) -> None:
         """Move flits from source queues into input buffers.
@@ -241,22 +306,27 @@ class SwitchSimulation:
     # ------------------------------------------------------------------
 
     def run(self, settings: Optional[SweepSettings] = None) -> RunResult:
-        """Warm up, measure, drain; return the summarized result."""
+        """Warm up, measure, drain; return the summarized result.
+
+        Each phase is one ``run_until`` call, so fast-forward jumps
+        never cross a warm-up/measurement boundary — the flag flips
+        happen between calls, exactly where the per-cycle loop
+        flipped them.
+        """
         settings = settings or SweepSettings()
-        for _ in range(settings.warmup):
-            self.step()
+        sched = self._sched
+        sched.run_until(self.cycle + settings.warmup)
         self._measuring = True
         self._count_flits = True
         measure_start = self.cycle
-        for _ in range(settings.measure):
-            self.step()
+        sched.run_until(self.cycle + settings.measure)
         self._measuring = False
         measured_cycles = self.cycle - measure_start
         self._count_flits = False
-        drained = 0
-        while self._labeled_outstanding > 0 and drained < settings.drain:
-            self.step()
-            drained += 1
+        sched.run_until(
+            self.cycle + settings.drain,
+            stop=lambda: self._labeled_outstanding <= 0,
+        )
         undelivered = self._labeled_outstanding
         delivered_fraction = (
             1.0
@@ -278,6 +348,14 @@ class SwitchSimulation:
         result.extra["source_backlog"] = float(
             sum(s.backlog() for s in self.sources)
         )
+        # Drive-loop observability: how much of the run fast-forward
+        # skipped (0 in cycle mode).  Deliberately excluded from
+        # mode-equivalence comparisons — they are the only legitimate
+        # difference between the two schedulers.
+        result.extra["stats.engine.cycles_skipped"] = float(
+            self._sched.cycles_skipped
+        )
+        result.extra["stats.engine.ff_jumps"] = float(self._sched.ff_jumps)
         if self._tracer is not None:
             self._tracer.fold_stats(self.router.stats)
         # Ad-hoc RouterStats.bump() counters ride along under a
@@ -336,6 +414,7 @@ def run_load_sweep(
     settings: Optional[SweepSettings] = None,
     seed: Optional[int] = None,
     sanitize: bool = False,
+    scheduler: str = "cycle",
 ) -> SweepResult:
     """Simulate one router at each offered load; returns the curve."""
     sweep = SweepResult(label=label or type(make_router(config)).__name__)
@@ -350,6 +429,7 @@ def run_load_sweep(
             avg_burst=avg_burst,
             seed=seed,
             sanitize=sanitize,
+            scheduler=scheduler,
         )
         sweep.results.append(sim.run(settings))
     return sweep

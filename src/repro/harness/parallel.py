@@ -47,6 +47,7 @@ def _run_point(args) -> RunResult:
         avg_burst,
         settings,
         seed,
+        scheduler,
     ) = args
     router = make_router(config)
     sim = SwitchSimulation(
@@ -57,6 +58,7 @@ def _run_point(args) -> RunResult:
         injection=injection,
         avg_burst=avg_burst,
         seed=seed,
+        scheduler=scheduler,
     )
     return sim.run(settings)
 
@@ -73,6 +75,7 @@ def run_load_sweep_parallel(
     settings: Optional[SweepSettings] = None,
     seed: Optional[int] = None,
     processes: Optional[int] = None,
+    scheduler: str = "cycle",
 ) -> SweepResult:
     """Parallel twin of :func:`run_load_sweep`.
 
@@ -97,6 +100,7 @@ def run_load_sweep_parallel(
             avg_burst,
             settings,
             seed,
+            scheduler,
         )
         for load in loads
     ]

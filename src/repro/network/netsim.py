@@ -14,15 +14,20 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.errors import invariant
 from ..core.flit import Flit, make_packet
 from ..core.rng import derive_rng
-from ..engine import EngineHooks, Scheduler
+from ..engine import EngineHooks, make_scheduler
 from ..harness.stats import LatencySample, RunResult, summarize
 from .router import NetworkRouter, NetworkRouterConfig, OutputLink, pipeline_depth_for_radix
 from .topology import FoldedClos, SwitchId, Topology
+
+try:  # Optional: bulk arrival pre-drawing (event mode fast path).
+    import numpy as _np
+except ImportError:  # pragma: no cover - baked into the dev image
+    _np = None  # type: ignore[assignment]
 
 
 @dataclass(frozen=True)
@@ -122,6 +127,7 @@ class NetworkSimulation:
         sanitize: bool = False,
         active_set: bool = True,
         faults: Optional[object] = None,
+        scheduler: str = "cycle",
     ) -> None:
         """Args:
             config: Router/channel parameters (``radix``/``levels`` are
@@ -147,6 +153,12 @@ class NetworkSimulation:
                 resync, and the scheduled dead-link faults; routing
                 avoids dead links.  None (or a disabled plan) keeps
                 the simulation byte-identical to a plain run.
+            scheduler: Drive loop: ``"cycle"`` executes every cycle;
+                ``"event"`` fast-forwards over spans with no busy
+                router, no due flit delivery, no pre-drawn host
+                arrival, no injectable backlog, and no scheduled fault
+                event.  Byte-identical results either way; only the
+                ``stats.engine.*`` counters and wall-clock differ.
         """
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -154,21 +166,34 @@ class NetworkSimulation:
         self.load = load
         self.topology = topology or FoldedClos(config.radix, config.levels)
         self._host_pattern = host_pattern
-        self.cycle = 0
         self._build_network()
         #: Simulation-level event bus; ``cycle_start``/``cycle_end``
         #: span the whole router set.  Instrumentation (sanitizer,
         #: metrics, tracing) attaches here.
         self.hooks = EngineHooks()
-        self._scheduler = Scheduler(
-            self.routers.values(), hooks=self.hooks, active_set=active_set
+        self._scheduler = make_scheduler(
+            scheduler,
+            self.routers.values(),
+            hooks=self.hooks,
+            active_set=active_set,
         )
+        self._event_mode = scheduler == "event"
+        # Inverted drive loop: the scheduler owns the per-cycle phase
+        # sequence; this harness contributes its pre-engine work and
+        # (in event mode) its wake horizons.
+        self._scheduler.add_pre_cycle(self._pre_cycle)
+        self._scheduler.add_wake_source(self._next_work)
         n = self.topology.num_hosts
         cap = 1.0 / config.flit_cycles
         self._packet_rate = load * cap / config.packet_size
         self._rngs = [derive_rng(config.seed, "net", h) for h in range(n)]
         self._route_rng = derive_rng(config.seed, "route")
         self._source_q: List[List[Flit]] = [[] for _ in range(n)]
+        #: Hosts with a non-empty source queue (superset is harmless).
+        #: Event mode injects over this set instead of scanning all
+        #: hosts; cycle mode maintains it too so the bookkeeping is
+        #: exercised identically.
+        self._backlog_hosts: set = set()
         self._next_inject = [0] * n
         self._packet_vc: List[Optional[int]] = [None] * n
         self._vc_rr = [0] * n
@@ -197,6 +222,31 @@ class NetworkSimulation:
             self._sanitizer: Optional[NetworkSanitizer] = NetworkSanitizer(self)
         else:
             self._sanitizer = None
+        # Event mode pre-draws each host's next arrival into a binary
+        # heap of (cycle, host) — the per-host draws are exactly the
+        # ones cycle-by-cycle polling would make (each host owns a
+        # private RNG stream), so prediction is byte-equivalent to the
+        # lazy path; heap order reproduces the host-order iteration of
+        # the per-cycle generate loop.  After the first arrival,
+        # redraws are bounded by the run window (``_draw_limit``) so a
+        # very low rate never forces draws far past the simulated
+        # horizon; hosts with no arrival inside the window park in
+        # ``_undrawn`` and resume their stream when the window grows.
+        self._host_arrivals: List[Tuple[int, int]] = []
+        self._arrival_cursor = [0] * n
+        self._draw_limit = 0
+        self._undrawn: Set[int] = set()
+        # numpy mirrors of the per-host Mersenne streams: MT19937
+        # produces bit-identical 53-bit doubles in both libraries, so
+        # the mirror lets event mode search a whole run window for the
+        # next Bernoulli hit in one vectorized pass instead of one
+        # Python-level draw per host per cycle.
+        self._np_streams: Optional[list] = None
+        self._sync_cursor = [0] * n
+        if self._event_mode and self._packet_rate > 0.0:
+            self._undrawn.update(range(n))
+            if _np is not None:
+                self._np_streams = [self._mirror_stream(h) for h in range(n)]
 
     # ------------------------------------------------------------------
     # Construction
@@ -236,20 +286,87 @@ class NetworkSimulation:
     # Simulation loop
     # ------------------------------------------------------------------
 
+    @property
+    def cycle(self) -> int:
+        """Current simulation cycle (owned by the drive loop)."""
+        return self._scheduler.now
+
     def step(self) -> None:
-        now = self.cycle
+        """Advance exactly one simulation cycle."""
+        self.run_until(self._scheduler.now + 1)
+
+    def run_until(self, end: int) -> int:
+        """Advance the simulation through cycles ``[cycle, end)``."""
+        self._extend_draws(end)
+        return self._scheduler.run_until(end)
+
+    def _extend_draws(self, end: int) -> None:
+        """Grow the arrival pre-draw window to cover ``[0, end)``.
+
+        Hosts parked in ``_undrawn`` (no arrival inside the previous
+        window) resume their private streams from where they stopped;
+        any hit inside the new window enters the arrival heap.
+        """
+        if not self._event_mode or end <= self._draw_limit:
+            return
+        self._draw_limit = end
+        if not self._undrawn:
+            return
+        resolved = []
+        for host in sorted(self._undrawn):
+            arrival = self._draw_arrival(host, end)
+            if arrival is not None:
+                heapq.heappush(self._host_arrivals, (arrival, host))
+                resolved.append(host)
+        self._undrawn.difference_update(resolved)
+
+    def _pre_cycle(self, now: int) -> None:
+        """Harness work before the two-phase engine cycle.
+
+        The engine cycle itself (and the instrumentation on the
+        ``cycle_end`` hook, including the sanitizer's per-cycle check)
+        runs from the scheduler after this returns.
+        """
         if self._faults is not None:
             # Apply scheduled link faults and deliver due credit
             # resyncs before anything else observes this cycle.
             self._faults.advance(now)
         self._deliver_arrivals(now)
-        self._generate(now)
-        self._inject(now)
-        # Two-phase engine cycle over all active routers; instrumentation
-        # (including the sanitizer's per-cycle check) fires from the
-        # scheduler's cycle_end hook.
-        self._scheduler.run_cycle(now)
-        self.cycle += 1
+        if self._event_mode:
+            self._generate_event(now)
+            self._inject_event(now)
+        else:
+            self._generate(now)
+            self._inject(now)
+
+    def _next_work(self, now: int) -> Optional[int]:
+        """Wake horizon: earliest cycle >= ``now`` with harness work.
+
+        The minimum over the pre-drawn host-arrival heap, the in-flight
+        flit/ejection heap, the fault injector's schedule, and — per
+        backlogged host — the earliest injection retry (channel
+        throttle or fault back-off).  Early is safe, late is not.
+        """
+        horizon: Optional[int] = None
+        if self._host_arrivals:
+            horizon = self._host_arrivals[0][0]
+        if self._inflight:
+            due = self._inflight[0][0]
+            if horizon is None or due < horizon:
+                horizon = due
+        faults = self._faults
+        if faults is not None:
+            due = faults.next_event(now)
+            if due is not None and (horizon is None or due < horizon):
+                horizon = due
+        for host in self._backlog_hosts:
+            retry = self._next_inject[host]
+            if faults is not None:
+                retry = max(retry, faults.channel_retry_at(host))
+            retry = max(retry, now)
+            if horizon is None or retry < horizon:
+                horizon = retry
+        return horizon
 
     def _deliver_arrivals(self, now: int) -> None:
         while self._inflight and self._inflight[0][0] <= now:
@@ -267,72 +384,213 @@ class NetworkSimulation:
                     self._outstanding -= 1
 
     def _generate(self, now: int) -> None:
+        """Cycle-mode generation: poll every host's process this cycle."""
         for host in range(self.topology.num_hosts):
-            rng = self._rngs[host]
-            if rng.random() >= self._packet_rate:
+            if self._rngs[host].random() >= self._packet_rate:
                 continue
-            if self._host_pattern is None:
-                dest = rng.randrange(self.topology.num_hosts)
+            self._generate_packet(host, now)
+
+    def _draw_arrival(self, host: int, limit: int) -> Optional[int]:
+        """Pre-draw ``host``'s next arrival cycle before ``limit``.
+
+        Consumes exactly the per-cycle polls :meth:`_generate` would
+        make from the host's private RNG stream, so batching them is
+        byte-equivalent.  Draws stop at the window edge: a host with no
+        hit keeps its cursor at ``limit`` and resumes the same stream
+        when the window grows, so the chunked draws consume the
+        identical stream prefix a cycle-by-cycle poll would.  A zero
+        rate never fires: return None without drawing.
+        """
+        rate = self._packet_rate
+        if rate <= 0.0:
+            return None
+        cycle = self._arrival_cursor[host]
+        if cycle >= limit:
+            return None
+        if self._np_streams is not None:
+            return self._draw_arrival_bulk(host, cycle, limit)
+        rnd = self._rngs[host].random
+        while cycle < limit:
+            if rnd() < rate:
+                self._arrival_cursor[host] = cycle + 1
+                return cycle
+            cycle += 1
+        self._arrival_cursor[host] = limit
+        return None
+
+    def _draw_arrival_bulk(
+        self, host: int, cycle: int, limit: int
+    ) -> Optional[int]:
+        """Vectorized Bernoulli search on the host's mirrored stream.
+
+        Samples the whole remaining window at once.  A miss consumes
+        exactly the polls cycle mode would, so nothing to undo; a hit
+        overshoots, and the mirror is rewound by rebuilding it from the
+        Python-side state — which still sits at the last sync point,
+        separated from the hit only by polls (every hit forces a sync,
+        so no destination draws lie in between) — and re-consuming that
+        exact count.  This keeps the costly state export off the
+        per-window path entirely.
+        """
+        assert self._np_streams is not None
+        stream = self._np_streams[host]
+        draws = stream.random_sample(limit - cycle)
+        hit = draws < self._packet_rate
+        first = int(hit.argmax())
+        if not hit[first]:
+            self._arrival_cursor[host] = limit
+            return None
+        polls = cycle - self._sync_cursor[host] + first + 1
+        _, state, _ = self._rngs[host].getstate()
+        stream.set_state(
+            ("MT19937", _np.asarray(state[:-1], dtype=_np.uint32), state[-1])
+        )
+        stream.random_sample(polls)
+        self._arrival_cursor[host] = cycle + first + 1
+        return cycle + first
+
+    def _mirror_stream(self, host: int) -> "object":
+        """Build a numpy RandomState mirroring ``host``'s Mersenne state."""
+        assert _np is not None
+        _, state, _ = self._rngs[host].getstate()
+        stream = _np.random.RandomState()
+        stream.set_state(
+            ("MT19937", _np.asarray(state[:-1], dtype=_np.uint32), state[-1])
+        )
+        return stream
+
+    def _pull_host_rng(self, host: int) -> None:
+        """Copy the numpy mirror's state back into the Python RNG.
+
+        Called before :meth:`_generate_packet` draws a destination, so
+        the Python stream resumes exactly where the bulk polls stopped.
+        """
+        assert self._np_streams is not None
+        _, keys, pos, _, _ = self._np_streams[host].get_state()
+        self._rngs[host].setstate(
+            (3, tuple(keys.tolist()) + (int(pos),), None)
+        )
+
+    def _push_host_rng(self, host: int) -> None:
+        """Copy the Python RNG's state back into the numpy mirror."""
+        assert self._np_streams is not None
+        _, state, _ = self._rngs[host].getstate()
+        self._np_streams[host].set_state(
+            ("MT19937", _np.asarray(state[:-1], dtype=_np.uint32), state[-1])
+        )
+        self._sync_cursor[host] = self._arrival_cursor[host]
+
+    def _generate_event(self, now: int) -> None:
+        """Event-mode generation: only hosts whose arrival is due.
+
+        Heap order is (cycle, host), so same-cycle arrivals generate in
+        ascending host order — the iteration order of the cycle-mode
+        loop — which keeps the shared route RNG stream and packet-id
+        allocation identical between modes.
+        """
+        heap = self._host_arrivals
+        while heap and heap[0][0] <= now:
+            due, host = heapq.heappop(heap)
+            invariant(due == now, "fast-forward skipped a host arrival",
+                      cycle=now, check="event-schedule", host=host,
+                      arrival=due)
+            if self._np_streams is not None:
+                # Destination draws happen on the Python stream; hand
+                # the mirrored state across and back so both sides see
+                # one contiguous per-host stream.
+                self._pull_host_rng(host)
+                self._generate_packet(host, now)
+                self._push_host_rng(host)
             else:
-                dest = self._host_pattern.dest(host, rng)
-            if self._faults is not None:
-                route = self._faults.route(
-                    self.topology, host, dest, self._route_rng
-                )
+                self._generate_packet(host, now)
+            nxt = self._draw_arrival(host, self._draw_limit)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt, host))
             else:
-                route = self.topology.route(host, dest, self._route_rng)
-            flits = make_packet(
-                dest=dest,
-                size=self.config.packet_size,
-                src=host,
-                created_at=now,
-                measured=self._measuring,
-                route=route,
+                self._undrawn.add(host)
+
+    def _generate_packet(self, host: int, now: int) -> None:
+        """Create one packet at ``host`` and queue its flits."""
+        rng = self._rngs[host]
+        if self._host_pattern is None:
+            dest = rng.randrange(self.topology.num_hosts)
+        else:
+            dest = self._host_pattern.dest(host, rng)
+        if self._faults is not None:
+            route = self._faults.route(
+                self.topology, host, dest, self._route_rng
             )
-            self._source_q[host].extend(flits)
-            if self._measuring:
-                self._outstanding += 1
-                self._labeled_total += 1
+        else:
+            route = self.topology.route(host, dest, self._route_rng)
+        flits = make_packet(
+            dest=dest,
+            size=self.config.packet_size,
+            src=host,
+            created_at=now,
+            measured=self._measuring,
+            route=route,
+        )
+        self._source_q[host].extend(flits)
+        self._backlog_hosts.add(host)
+        if self._measuring:
+            self._outstanding += 1
+            self._labeled_total += 1
 
     def _inject(self, now: int) -> None:
+        """Cycle-mode injection: scan every host in index order."""
+        for host in range(self.topology.num_hosts):
+            self._try_inject(host, now)
+
+    def _inject_event(self, now: int) -> None:
+        """Event-mode injection: only hosts with queued flits.
+
+        Sorted so the effective order matches the cycle-mode scan
+        (hosts without backlog are no-ops there).
+        """
+        for host in sorted(self._backlog_hosts):
+            self._try_inject(host, now)
+
+    def _try_inject(self, host: int, now: int) -> None:
+        """Move one flit from ``host``'s queue into its edge router."""
         topo = self.topology
         faults = self._faults
-        for host in range(topo.num_hosts):
-            if now < self._next_inject[host] or not self._source_q[host]:
-                continue
-            if faults is not None and not faults.channel_ready(host, now):
-                continue
-            flit = self._source_q[host][0]
-            attach = topo.host_attachment(host)
-            invariant(attach.switch is not None,
-                      "host attaches to no switch", cycle=now,
-                      check="topology")
-            router = self.routers[attach.switch]
-            vc = self._packet_vc[host]
-            if flit.is_head and vc is None:
-                vc = self._pick_vc(router, attach.port, host)
-                if vc is None:
-                    continue
-                self._packet_vc[host] = vc
-            invariant(vc is not None, "packet VC lost mid-packet",
-                      cycle=now, port=attach.port, check="injection")
-            if router.input_space(attach.port, vc) < 1:
-                continue
-            flit.vc = vc
-            if faults is not None and not faults.attempt_transmit(
-                host, flit, now
-            ):
-                # Corrupted on the wire: the receiver's CRC check drops
-                # it, the sender keeps it queued for retransmission.
-                # The corrupted transmission still occupied the channel.
-                self._next_inject[host] = now + self.config.flit_cycles
-                continue
-            self._source_q[host].pop(0)
-            self._scheduler.wake(router, now)
-            router.accept(attach.port, flit)
+        if now < self._next_inject[host] or not self._source_q[host]:
+            return
+        if faults is not None and not faults.channel_ready(host, now):
+            return
+        flit = self._source_q[host][0]
+        attach = topo.host_attachment(host)
+        invariant(attach.switch is not None,
+                  "host attaches to no switch", cycle=now,
+                  check="topology")
+        router = self.routers[attach.switch]
+        vc = self._packet_vc[host]
+        if flit.is_head and vc is None:
+            vc = self._pick_vc(router, attach.port, host)
+            if vc is None:
+                return
+            self._packet_vc[host] = vc
+        invariant(vc is not None, "packet VC lost mid-packet",
+                  cycle=now, port=attach.port, check="injection")
+        if router.input_space(attach.port, vc) < 1:
+            return
+        flit.vc = vc
+        if faults is not None and not faults.attempt_transmit(
+            host, flit, now
+        ):
+            # Corrupted on the wire: the receiver's CRC check drops
+            # it, the sender keeps it queued for retransmission.
+            # The corrupted transmission still occupied the channel.
             self._next_inject[host] = now + self.config.flit_cycles
-            if flit.is_tail:
-                self._packet_vc[host] = None
+            return
+        self._source_q[host].pop(0)
+        if not self._source_q[host]:
+            self._backlog_hosts.discard(host)
+        self._scheduler.wake(router, now)
+        router.accept(attach.port, flit)
+        self._next_inject[host] = now + self.config.flit_cycles
+        if flit.is_tail:
+            self._packet_vc[host] = None
 
     def _pick_vc(self, router: NetworkRouter, port: int, host: int) -> Optional[int]:
         v = self.config.num_vcs
@@ -350,20 +608,18 @@ class NetworkSimulation:
     def run(
         self, warmup: int = 2000, measure: int = 2000, drain: int = 30000
     ) -> RunResult:
-        for _ in range(warmup):
-            self.step()
+        sched = self._scheduler
+        self.run_until(self.cycle + warmup)
         self._measuring = True
         self._count_flits = True
         start = self.cycle
-        for _ in range(measure):
-            self.step()
+        self.run_until(self.cycle + measure)
         self._measuring = False
         measured_cycles = self.cycle - start
         self._count_flits = False
-        steps = 0
-        while self._outstanding > 0 and steps < drain:
-            self.step()
-            steps += 1
+        self._extend_draws(self.cycle + drain)
+        sched.run_until(self.cycle + drain,
+                        stop=lambda: self._outstanding <= 0)
         frac = (
             1.0
             if self._labeled_total == 0
@@ -379,6 +635,10 @@ class NetworkSimulation:
             saturated=frac < 0.999,
             cycles=self.cycle,
         )
+        result.extra["stats.engine.cycles_skipped"] = float(
+            sched.cycles_skipped
+        )
+        result.extra["stats.engine.ff_jumps"] = float(sched.ff_jumps)
         if self._faults is not None:
             for name in sorted(self._faults.counters):
                 result.extra[f"stats.{name}"] = float(
@@ -397,9 +657,11 @@ class ClosNetworkSimulation(NetworkSimulation):
         sanitize: bool = False,
         active_set: bool = True,
         faults: Optional[object] = None,
+        scheduler: str = "cycle",
     ) -> None:
         super().__init__(config, load, sanitize=sanitize,
-                         active_set=active_set, faults=faults)
+                         active_set=active_set, faults=faults,
+                         scheduler=scheduler)
 
 
 def run_network_sweep(
@@ -410,6 +672,7 @@ def run_network_sweep(
     warmup: int = 2000,
     measure: int = 2000,
     drain: int = 30000,
+    scheduler: str = "cycle",
 ):
     """Load-latency curve over a network (the Figure 19 sweep).
 
@@ -421,7 +684,8 @@ def run_network_sweep(
 
     sweep = SweepResult(label=label or "network")
     for load in loads:
-        sim = NetworkSimulation(config, load, topology=topology)
+        sim = NetworkSimulation(config, load, topology=topology,
+                                scheduler=scheduler)
         sweep.results.append(sim.run(warmup=warmup, measure=measure,
                                      drain=drain))
     return sweep

@@ -217,6 +217,17 @@ class NetworkRouter(Component):
             return True
         return bool(self._credit_out or self._vc_release)
 
+    def next_event(self, now: int) -> Optional[int]:
+        """Horizon: resident flits need the next cycle; otherwise the
+        earliest pending credit or VC release.  Pure read (R013)."""
+        if self._resident:
+            return now + 1
+        horizon: Optional[int] = None
+        for due in (self._credit_out.next_due(), self._vc_release.next_due()):
+            if due is not None and (horizon is None or due < horizon):
+                horizon = due
+        return horizon
+
     def set_exhaustive(self) -> None:
         """Reference schedule: disable the per-input activity flags."""
         self._in_active = AlwaysActive()

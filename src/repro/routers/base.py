@@ -173,6 +173,22 @@ class Router(Component):
             return True
         return bool(self._ejecting or self._vc_release)
 
+    def next_event(self, now: int) -> Optional[int]:
+        """Horizon: earliest cycle a delayed mechanism matures.
+
+        Resident flits need the very next cycle (arbitration runs every
+        cycle while flits are buffered); otherwise the earliest delay
+        line head is the horizon.  Pure read (lint rule R013); see
+        :meth:`repro.engine.Component.next_event`.
+        """
+        if self.stats.flits_accepted > self.stats.flits_ejected:
+            return now + 1
+        horizon: Optional[int] = None
+        for due in (self._ejecting.next_due(), self._vc_release.next_due()):
+            if due is not None and (horizon is None or due < horizon):
+                horizon = due
+        return horizon
+
     def set_exhaustive(self) -> None:
         """Reference schedule: disable the per-input activity flags."""
         self._in_active = AlwaysActive()

@@ -270,6 +270,20 @@ class BufferedCrossbarRouter(Router):
         buses = self._credit_buses
         return buses is not None and not all(bus.idle() for bus in buses)
 
+    def next_event(self, now: int) -> Optional[int]:
+        horizon = super().next_event(now)
+        if self._credit_pipes is not None:
+            for pipe in self._credit_pipes:
+                due = pipe.next_due()
+                if due is not None and (horizon is None or due < horizon):
+                    horizon = due
+        elif self._credit_buses is not None:
+            for bus in self._credit_buses:
+                due = bus.next_due(now)
+                if due is not None and (horizon is None or due < horizon):
+                    horizon = due
+        return horizon
+
     def _extra_occupancy(self) -> int:
         return sum(map(len, self._xp_flat)) + self._in_flight_to_xp
 

@@ -380,6 +380,13 @@ class HierarchicalCrossbarRouter(Router):
         # still in the return pipe.
         return self._credit_pipe.pending() > 0
 
+    def next_event(self, now: int) -> Optional[int]:
+        horizon = super().next_event(now)
+        due = self._credit_pipe.next_due()
+        if due is not None and (horizon is None or due < horizon):
+            horizon = due
+        return horizon
+
     def _extra_occupancy(self) -> int:
         inside = sum(
             self.sub[r][c].occupancy()

@@ -205,6 +205,13 @@ class SharedBufferCrossbarRouter(Router):
         # Credit restores still travelling back to the inputs.
         return bool(self._credit_return)
 
+    def next_event(self, now: int) -> Optional[int]:
+        horizon = super().next_event(now)
+        due = self._credit_return.next_due()
+        if due is not None and (horizon is None or due < horizon):
+            horizon = due
+        return horizon
+
     def _extra_occupancy(self) -> int:
         buffered = sum(len(q) for row in self.crosspoints for q in row)
         # Original flits retired on ACK are double-counted while a copy

@@ -46,15 +46,57 @@ class TrafficSource:
         self._rng = derive_rng(seed, "traffic", input_id)
         self.packets_generated = 0
         self.flits_generated = 0
+        # Next-arrival prediction state: the injection process is
+        # polled ahead of time along this source's private RNG stream.
+        # ``_cursor`` is the first cycle whose poll has not been drawn
+        # yet; ``_next_arrival`` caches the pre-drawn hit (None = not
+        # drawn yet, or the process never fires).
+        self._cursor = 0
+        self._next_arrival: Optional[int] = None
+
+    def _draw_next(self, start: int) -> Optional[int]:
+        """Pre-draw the injection process until its next hit >= ``start``.
+
+        Consumes exactly the draws that polling ``should_inject`` once
+        per cycle from ``start`` onward would consume — pre-drawing
+        reorders nothing within the stream, so batch prediction is
+        byte-equivalent to the lazy cycle-by-cycle polling it replaces
+        (the goldens pin this).  A zero-rate process never fires, so
+        return None without drawing rather than looping forever.
+        """
+        if self.injection.rate == 0.0:
+            return None
+        cycle = max(self._cursor, start)
+        while not self.injection.should_inject(self._rng):
+            cycle += 1
+        self._cursor = cycle + 1
+        return cycle
+
+    def peek_arrival(self, now: int) -> Optional[int]:
+        """Cycle >= ``now`` of the next packet generation, or None.
+
+        The next-arrival horizon consumed by event-driven scheduling:
+        an :class:`~repro.engine.EventScheduler` wake source reports
+        this so fast-forward never jumps over a generation cycle.
+        Draws (and caches) the prediction on first use.
+        """
+        if self._next_arrival is None or self._next_arrival < now:
+            self._next_arrival = self._draw_next(now)
+        return self._next_arrival
 
     def generate(self, now: int, measured: bool) -> Optional[int]:
-        """Maybe generate one packet at cycle ``now``.
+        """Generate one packet at cycle ``now`` if the process fires.
 
         Returns the packet id if a packet was generated, else None.
         ``measured`` marks the packet as part of the measurement sample.
+        Driven either every cycle (cycle stepper) or only on executed
+        cycles (event mode) — skipping cycles before the pre-drawn
+        arrival is a no-op here, so both drive modes see identical
+        generation times and RNG streams.
         """
-        if not self.injection.should_inject(self._rng):
+        if self.peek_arrival(now) != now:
             return None
+        self._next_arrival = None
         dest = self.pattern.dest(self.input_id, self._rng)
         flits = make_packet(
             dest=dest,

@@ -1,0 +1,49 @@
+"""R013 fixture: scheduler probes (``busy``/``next_event``) that
+mutate state, directly or through their call chains."""
+
+
+class CountingComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+
+    def commit(self, cycle):
+        pass
+
+    def busy(self):
+        self.polls = self.polls + 1
+        return bool(self.pending)
+
+
+class RefreshingComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+
+    def commit(self, cycle):
+        pass
+
+    def busy(self):
+        return False
+
+    def next_event(self, now):
+        self._refresh(now)
+        return self.horizon
+
+    def _refresh(self, now):
+        self.horizon = now + 1
+
+
+class CleanComponent:
+    def compute(self, cycle):
+        self.cycle = cycle
+
+    def commit(self, cycle):
+        pass
+
+    def busy(self):
+        return bool(self.pending)
+
+    def next_event(self, now):
+        return self._peek(now)
+
+    def _peek(self, now):
+        return now + 1 if self.pending else None

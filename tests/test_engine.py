@@ -146,6 +146,21 @@ class TestScheduler:
         sched.run_cycle(0)
         assert t.journal
 
+    def test_wake_unregistered_component_names_the_component(self):
+        """Regression: this used to surface as an opaque ``KeyError``
+        from the scheduler's internal index, with no hint of which
+        component the event was delivered to."""
+        from repro.engine import UnregisteredComponentError
+
+        sched = Scheduler([Ticker(work=1)])
+        stray = Ticker(work=1, name="stray")
+        with pytest.raises(UnregisteredComponentError) as exc:
+            sched.wake(stray, 3)
+        assert "Ticker" in str(exc.value)
+        assert "'stray'" in str(exc.value)
+        assert "register()" in str(exc.value)
+        assert exc.value.component is stray
+
 
 class TestEngineHooks:
     def test_multiple_subscribers_all_fire(self):

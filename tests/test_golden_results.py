@@ -70,11 +70,12 @@ FIELDS = (
 SWITCH_EXTRAS = ("undelivered", "source_backlog")
 
 
-def _run_switch(name: str) -> dict:
+def _run_switch(name: str, scheduler: str = "cycle") -> dict:
     sim = SwitchSimulation(
         ROUTERS[name](SWITCH_CONFIG),
         load=SWITCH_LOAD,
         packet_size=SWITCH_PACKET_SIZE,
+        scheduler=scheduler,
     )
     result = sim.run(SWITCH_SETTINGS)
     snap = {f: getattr(result, f) for f in FIELDS}
@@ -83,8 +84,9 @@ def _run_switch(name: str) -> dict:
     return snap
 
 
-def _run_network() -> dict:
-    sim = ClosNetworkSimulation(NETWORK_CONFIG, NETWORK_LOAD)
+def _run_network(scheduler: str = "cycle") -> dict:
+    sim = ClosNetworkSimulation(NETWORK_CONFIG, NETWORK_LOAD,
+                                scheduler=scheduler)
     result = sim.run(**NETWORK_WINDOWS)
     return {f: getattr(result, f) for f in FIELDS}
 
@@ -185,13 +187,20 @@ def _assert_matches(snap: dict, golden: dict, label: str) -> None:
         )
 
 
+@pytest.mark.parametrize("scheduler", ["cycle", "event"])
 @pytest.mark.parametrize("name", sorted(ROUTERS))
-def test_switch_golden(name: str) -> None:
-    _assert_matches(_run_switch(name), GOLDEN[name], name)
+def test_switch_golden(name: str, scheduler: str) -> None:
+    _assert_matches(
+        _run_switch(name, scheduler), GOLDEN[name], f"{name}/{scheduler}"
+    )
 
 
-def test_network_golden() -> None:
-    _assert_matches(_run_network(), GOLDEN["clos-network"], "clos-network")
+@pytest.mark.parametrize("scheduler", ["cycle", "event"])
+def test_network_golden(scheduler: str) -> None:
+    _assert_matches(
+        _run_network(scheduler), GOLDEN["clos-network"],
+        f"clos-network/{scheduler}",
+    )
 
 
 def _generate() -> dict:
