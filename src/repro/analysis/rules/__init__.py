@@ -41,9 +41,14 @@ R013  observer-purity             Scheduler probes (``busy``,
                                   ``next_event``) and their call
                                   chains never mutate state or emit
                                   hook events
+R014  pattern-purity              ``TrafficPattern.dest`` and
+                                  ``Workload.eligible`` probes (and
+                                  their call chains) never mutate
+                                  state — traffic must not depend on
+                                  how often the harness asked
 ===== ==========================  ====================================
 
-R001-R004 are per-file (and cached by content hash); R005-R013 run
+R001-R004 are per-file (and cached by content hash); R005-R014 run
 against the whole-program :class:`~repro.analysis.flow.index.
 ProjectIndex`.  R005-R007 keep a degraded per-file form for editor
 integration and :func:`~repro.analysis.lint.lint_file`.
@@ -60,6 +65,7 @@ from .engine_rules import ComputePhasePurityRule, HookEmissionPhaseRule
 from .flow_rules import (
     HookContractRule,
     ObserverPurityRule,
+    PatternPurityRule,
     PhaseRaceRule,
     RngStreamRule,
     SerializationReadinessRule,
@@ -89,6 +95,7 @@ def all_rules() -> List[LintRule]:
         HookContractRule(),
         StalePragmaRule(),
         ObserverPurityRule(),
+        PatternPurityRule(),
     ]
     assert [r.code for r in rules] == sorted(r.code for r in rules)
     return rules
@@ -109,4 +116,5 @@ __all__ = [
     "HookContractRule",
     "StalePragmaRule",
     "ObserverPurityRule",
+    "PatternPurityRule",
 ]

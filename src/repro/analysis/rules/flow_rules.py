@@ -1,4 +1,4 @@
-"""Whole-program rules R008-R012.
+"""Whole-program rules R008-R014.
 
 These rules only exist at project scope: they consume the
 :class:`~repro.analysis.flow.index.ProjectIndex` — cross-module MRO,
@@ -27,6 +27,15 @@ the runner's pragma-hit ledger — rather than a single parsed module.
   subscription for a handler whose signature can accept the payload.
 * **R012** reports ``lint: disable`` pragmas that suppress nothing —
   stale suppressions hide future regressions at their line.
+* **R013** holds the scheduler probes (``busy``/``next_event``) and
+  their self-call chains observably pure: the engine may call them any
+  number of times per cycle, so a mutating probe breaks the
+  cycle/event byte-identity contract.
+* **R014** applies the same purity bar to the traffic probes:
+  ``TrafficPattern.dest`` (pre-drawn and cached by the sources) and
+  ``Workload.eligible`` (polled by fast-forward wake horizons) must
+  not mutate state, or generated traffic depends on how often the
+  harness asked.
 """
 
 from __future__ import annotations
@@ -572,7 +581,7 @@ class ObserverPurityRule(ProjectRule):
             )
         visited: Set[str] = set()
         for call in method.self_calls:
-            reason, chain = self._find_impure(
+            reason, chain = _find_impure_chain(
                 index, qual, call.name, visited
             )
             if reason is None:
@@ -587,34 +596,136 @@ class ObserverPurityRule(ProjectRule):
                 "through their whole call chain",
             )
 
-    def _find_impure(
+
+def _find_impure_chain(
+    index: "ProjectIndex",
+    qual: str,
+    name: str,
+    visited: Set[str],
+) -> Tuple[Optional[str], List[str]]:
+    """First impurity reachable from ``self.<name>()``, with the call
+    chain that reaches it — interprocedural, cycle-safe, and stopping
+    at the phase methods (they are allowed their own writes and are
+    never part of a probe's contract)."""
+    if name in visited or name in ("compute", "commit"):
+        return None, []
+    visited.add(name)
+    resolved = index.resolve_method(qual, name)
+    if resolved is None:
+        return None, []
+    _, method = resolved
+    direct = _observer_impurity(method)
+    if direct is not None:
+        return direct[0], [name]
+    for call in method.self_calls:
+        deeper, chain = _find_impure_chain(index, qual, call.name, visited)
+        if deeper is not None:
+            return deeper, [name] + chain
+    return None, []
+
+
+#: (family base-class simple name, probe method): implementations of
+#: the probe anywhere in the family must be observably pure.
+PROBE_FAMILIES: Tuple[Tuple[str, str], ...] = (
+    ("TrafficPattern", "dest"),
+    ("Workload", "eligible"),
+)
+
+
+class PatternPurityRule(ProjectRule):
+    """R014: ``TrafficPattern.dest`` / ``Workload.eligible`` stay pure.
+
+    Both are *probe* contracts the harness may invoke a varying number
+    of times per simulated cycle: destination draws are pre-drawn and
+    cached by the traffic sources (and replayed under both drive
+    loops), and workload eligibility feeds the event scheduler's wake
+    horizons, which poll it zero or more times per cycle.  An
+    implementation that mutates its own state (or emits hook events)
+    makes traffic — and therefore results — depend on how often the
+    harness asked, breaking seed determinism and the cycle/event
+    byte-identity contract.  Drawing from the *passed-in* RNG is the
+    sanctioned effect; writing ``self`` is not.
+    """
+
+    code = "R014"
+    name = "pattern-purity"
+    description = (
+        "TrafficPattern.dest and Workload.eligible are probes the "
+        "harness may call any number of times per cycle; they and "
+        "their self-call chains must not mutate state or emit events"
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        emitted: Set[Tuple[str, int, str]] = set()
+        for qual, summary, cls in index.iter_classes():
+            for family, probe in PROBE_FAMILIES:
+                method = cls.methods.get(probe)
+                if method is None:
+                    # Only the class that defines the probe is checked:
+                    # inheriting subclasses would re-report the same
+                    # method body once per descendant.
+                    continue
+                if not _in_family(index, qual, family):
+                    continue
+                for finding in self._check_probe(
+                    index, qual, summary.path, probe, method, family
+                ):
+                    key = (finding.path, finding.line, finding.message)
+                    if key not in emitted:
+                        emitted.add(key)
+                        yield finding
+
+    def _check_probe(
         self,
         index: "ProjectIndex",
         qual: str,
-        name: str,
-        visited: Set[str],
-    ) -> Tuple[Optional[str], List[str]]:
-        if name in visited or name in ("compute", "commit"):
-            return None, []
-        visited.add(name)
-        resolved = index.resolve_method(qual, name)
-        if resolved is None:
-            return None, []
-        _, method = resolved
+        path: str,
+        probe: str,
+        method: MethodSummary,
+        family: str,
+    ) -> Iterator[Finding]:
+        cls_name = qual.rsplit(".", 1)[-1]
         direct = _observer_impurity(method)
         if direct is not None:
-            return direct[0], [name]
+            reason, line = direct
+            yield self.project_finding(
+                path, line,
+                f"`{cls_name}.{probe}` {reason}; `{family}.{probe}` "
+                "implementations may be probed any number of times per "
+                "cycle (pre-draw caching, fast-forward horizons), so "
+                "they must be side-effect free",
+            )
+        visited: Set[str] = set()
         for call in method.self_calls:
-            deeper, chain = self._find_impure(
+            reason, chain = _find_impure_chain(
                 index, qual, call.name, visited
             )
-            if deeper is not None:
-                return deeper, [name] + chain
-        return None, []
+            if reason is None:
+                continue
+            via = ""
+            if len(chain) > 1:
+                via = " (via `" + "` -> `".join(chain) + "`)"
+            yield self.project_finding(
+                path, call.line,
+                f"`{cls_name}.{probe}` calls `self.{call.name}()`, "
+                f"which {reason}{via}; `{family}.{probe}` must stay "
+                "pure through its whole call chain",
+            )
+
+
+def _in_family(index: "ProjectIndex", qual: str, family: str) -> bool:
+    """True when ``qual`` (or an ancestor, internal or external) is
+    named ``family`` — the same simple-name family test
+    :meth:`ProjectIndex.is_router_family` uses for Router."""
+    chain, external = index.mro(qual)
+    if any(q.rsplit(".", 1)[-1] == family for q in chain):
+        return True
+    return any(b.rsplit(".", 1)[-1] == family for b in external)
 
 
 __all__ = [
     "ObserverPurityRule",
+    "PatternPurityRule",
     "PhaseRaceRule",
     "RngStreamRule",
     "SerializationReadinessRule",

@@ -15,8 +15,13 @@ Gives the library's main experiments a shell entry point:
 * ``faults`` — deterministic fault-injection sweep (see
   :mod:`repro.faults`): degraded throughput/latency and recovery
   counters as the fault rate rises;
+* ``workload`` — dependency-driven application workloads (see
+  :mod:`repro.workloads`): closed-loop request/reply, collectives
+  (ring / recursive-doubling all-reduce, all-to-all, broadcast,
+  transformer-decode sequences), and trace replay, swept over message
+  size / window / layer count on a switch or a Clos network;
 * ``lint`` — the repository's whole-program AST lint pass (rules
-  R001-R013, with ``--select``/``--ignore`` filters, ``--format
+  R001-R014, with ``--select``/``--ignore`` filters, ``--format
   {text,json,sarif}``, a content-hash summary cache, and a baseline
   file for grandfathered findings).
 
@@ -31,6 +36,9 @@ Examples::
     python -m repro run --arch buffered --radix 16 --load 0.8 --sanitize
     python -m repro trace --arch hierarchical --radix 8 --subswitch 4 --chrome out.json
     python -m repro faults --arch buffered --radix 8 --rates 0,0.01,0.05 --sanitize
+    python -m repro workload --family allreduce --ranks 16 --sizes 1,4,16
+    python -m repro workload --family decode --layer-counts 2,4 --gap 16
+    python -m repro workload --family replay --replay out.json --target switch
     python -m repro lint src
 """
 
@@ -400,6 +408,156 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_workload(args: argparse.Namespace, ranks: int, size: int,
+                    window: int, layers: int):
+    """Construct one workload instance for one sweep combination."""
+    from . import workloads
+
+    family = args.family
+    if family == "request-reply":
+        return workloads.request_reply(
+            ranks, requests=args.requests, window=window,
+            think=args.think, service=args.service,
+            request_size=size, reply_size=args.reply_size,
+        )
+    if family == "allreduce":
+        return workloads.all_reduce(ranks, size=size,
+                                    algorithm=args.algorithm)
+    if family == "alltoall":
+        return workloads.all_to_all(ranks, size=size)
+    if family == "broadcast":
+        return workloads.broadcast(ranks, size=size)
+    if family == "decode":
+        return workloads.transformer_decode(
+            ranks, layers=layers, steps=args.steps, size=size,
+            gap=args.gap, algorithm=args.algorithm,
+        )
+    if family == "replay":
+        if not args.replay:
+            raise ValueError("--family replay requires --replay PATH")
+        return workloads.load_trace(
+            args.replay, num_ranks=ranks if args.ranks else None
+        )
+    raise ValueError(f"unknown workload family {family!r}")
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    """Dependency-driven workload runs, swept over DAG parameters.
+
+    Each combination of ``--sizes`` x ``--windows`` x
+    ``--layer-counts`` builds one workload DAG and runs it to
+    completion on the chosen target (``--target network`` is a folded
+    Clos whose hosts are the ranks; ``--target switch`` maps ranks to
+    one router's ports).  Prints makespan, message/flow latency
+    percentiles, per-phase step time and skew, and accepted
+    throughput per combination.  Fully deterministic for a fixed seed;
+    ``--kill-links`` schedules dead-link faults (network target) to
+    measure degraded collective completion.
+    """
+    from .core.errors import InvariantViolation
+    from .core.flit import reset_packet_ids
+    from .faults import FaultPlan, sample_link_faults
+    from .harness.experiment import SwitchSimulation
+    from .network.topology import FoldedClos
+
+    sizes = [int(x) for x in args.sizes.split(",")]
+    windows = [int(x) for x in args.windows.split(",")]
+    layer_counts = [int(x) for x in args.layer_counts.split(",")]
+    if args.target == "network":
+        topology = FoldedClos(args.radix, args.levels)
+        default_ranks = topology.num_hosts
+    else:
+        topology = None
+        default_ranks = args.radix
+    ranks = args.ranks or default_ranks
+    if ranks > default_ranks:
+        print(f"workload: {ranks} ranks exceed the "
+              f"{default_ranks} available endpoints", file=sys.stderr)
+        return 2
+    link_faults = ()
+    if args.kill_links:
+        if topology is None:
+            print("workload: --kill-links needs --target network",
+                  file=sys.stderr)
+            return 2
+        link_faults = sample_link_faults(
+            topology, seed=args.seed, count=args.kill_links,
+            cycle=args.kill_at, until=args.heal_at,
+        )
+    plan = FaultPlan(
+        corrupt_rate=args.corrupt_rate,
+        credit_loss_rate=args.credit_loss,
+        links=link_faults,
+    )
+    faults = plan if plan.enabled else None
+    rows = []
+    for size in sizes:
+        for window in windows:
+            for layers in layer_counts:
+                try:
+                    workload = _build_workload(
+                        args, ranks, size, window, layers
+                    )
+                except ValueError as exc:
+                    print(f"workload: {exc}", file=sys.stderr)
+                    return 2
+                reset_packet_ids()
+                if args.target == "network":
+                    cfg = NetworkConfig(
+                        radix=args.radix, levels=args.levels,
+                        num_vcs=args.vcs, seed=args.seed,
+                    )
+                    sim = ClosNetworkSimulation(
+                        cfg, workload=workload, sanitize=args.sanitize,
+                        faults=faults, scheduler=args.scheduler,
+                    )
+                else:
+                    config = RouterConfig(
+                        radix=args.radix, num_vcs=args.vcs,
+                        subswitch_size=args.subswitch,
+                        local_group_size=min(8, args.radix),
+                        seed=args.seed,
+                    )
+                    sim = SwitchSimulation(
+                        ARCHITECTURES[args.arch](config),
+                        workload=workload, sanitize=args.sanitize,
+                        faults=faults, scheduler=args.scheduler,
+                    )
+                try:
+                    result = sim.run_workload(max_cycles=args.max_cycles)
+                except InvariantViolation as exc:
+                    print(f"sanitizer: invariant violation: {exc}",
+                          file=sys.stderr)
+                    return 2
+                extra = result.extra
+                rows.append((
+                    str(size), str(window), str(layers),
+                    str(int(extra.get("stats.workload.makespan", 0))),
+                    str(int(extra.get("stats.workload.msg_p50", 0))),
+                    str(int(extra.get("stats.workload.msg_p99", 0))),
+                    str(int(extra.get("stats.workload.flow_p99", 0))),
+                    str(int(extra.get("stats.workload.step_max", 0))),
+                    str(int(extra.get("stats.workload.skew_max", 0))),
+                    f"{result.throughput:.3f}",
+                    str(result.saturated),
+                ))
+    target = (
+        f"{args.levels}-level radix-{args.radix} Clos ({ranks} ranks)"
+        if args.target == "network"
+        else f"{args.arch} radix-{args.radix} switch ({ranks} ranks)"
+    )
+    print(format_table(
+        ["size", "window", "layers", "makespan", "msg p50", "msg p99",
+         "flow p99", "step max", "skew max", "throughput", "stuck"],
+        rows,
+        title=f"{args.family} on {target}, scheduler {args.scheduler}"
+              + (" [sanitized]" if args.sanitize else "")
+              + (f", {args.kill_links} dead link(s)"
+                 if args.kill_links else ""),
+    ))
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from .analysis.lint import run_lint
 
@@ -583,8 +741,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scheduler_arg(faults)
     faults.set_defaults(func=cmd_faults)
 
+    wl = subs.add_parser(
+        "workload",
+        help="dependency-driven workload runs (collectives, "
+             "request/reply, trace replay)",
+    )
+    wl.add_argument("--family",
+                    choices=("request-reply", "allreduce", "alltoall",
+                             "broadcast", "decode", "replay"),
+                    default="allreduce")
+    wl.add_argument("--target", choices=("network", "switch"),
+                    default="network",
+                    help="run on a folded Clos (ranks = hosts) or a "
+                         "single switch (ranks = ports)")
+    wl.add_argument("--ranks", type=int, default=0,
+                    help="participating ranks (default: every "
+                         "host/port of the target)")
+    wl.add_argument("--algorithm",
+                    choices=("ring", "recursive-doubling"),
+                    default="ring",
+                    help="all-reduce algorithm (allreduce/decode)")
+    wl.add_argument("--sizes", default="1", metavar="N,N,...",
+                    help="message sizes in flits to sweep")
+    wl.add_argument("--windows", default="1", metavar="N,N,...",
+                    help="request/reply outstanding windows to sweep")
+    wl.add_argument("--layer-counts", default="2", metavar="N,N,...",
+                    help="decode layer counts to sweep")
+    wl.add_argument("--requests", type=int, default=4,
+                    help="request/reply transactions per chain")
+    wl.add_argument("--think", type=int, default=0,
+                    help="request/reply client think time (cycles)")
+    wl.add_argument("--service", type=int, default=0,
+                    help="request/reply server service time (cycles)")
+    wl.add_argument("--reply-size", type=int, default=4,
+                    help="request/reply reply size (flits)")
+    wl.add_argument("--steps", type=int, default=1,
+                    help="decode steps")
+    wl.add_argument("--gap", type=int, default=8,
+                    help="decode compute gap between phases (cycles)")
+    wl.add_argument("--replay", metavar="PATH", default=None,
+                    help="CSV or Chrome-trace schedule to replay "
+                         "(--family replay)")
+    wl.add_argument("--arch", choices=ARCHITECTURES,
+                    default="hierarchical",
+                    help="switch organization (--target switch)")
+    wl.add_argument("--radix", type=int, default=8)
+    wl.add_argument("--levels", type=int, default=2,
+                    help="Clos levels (--target network)")
+    wl.add_argument("--vcs", type=int, default=4)
+    wl.add_argument("--subswitch", type=int, default=8)
+    wl.add_argument("--seed", type=int, default=1)
+    wl.add_argument("--max-cycles", type=int, default=1_000_000,
+                    help="abort a combination after this many cycles")
+    wl.add_argument("--sanitize", action="store_true",
+                    help="verify conservation invariants every cycle")
+    wl.add_argument("--kill-links", type=int, default=0,
+                    help="schedule N dead inter-router links "
+                         "(network target)")
+    wl.add_argument("--kill-at", type=int, default=5,
+                    help="cycle the scheduled links go down")
+    wl.add_argument("--heal-at", type=int, default=None,
+                    help="cycle the scheduled links come back "
+                         "(default: never)")
+    wl.add_argument("--corrupt-rate", type=float, default=0.0,
+                    help="host-channel flit corruption probability")
+    wl.add_argument("--credit-loss", type=float, default=0.0,
+                    help="credit-loss probability per delivery")
+    _add_scheduler_arg(wl)
+    wl.set_defaults(func=cmd_workload)
+
     lint = subs.add_parser(
-        "lint", help="whole-program AST lint pass (R001-R013)"
+        "lint", help="whole-program AST lint pass (R001-R014)"
     )
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories to lint (default: src)")

@@ -12,7 +12,7 @@ generation (so source queueing counts) to tail-flit ejection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..core.config import RouterConfig
 from ..core.errors import invariant
@@ -21,6 +21,8 @@ from ..routers.base import Router
 from ..traffic.injection import Bernoulli, InjectionProcess, MarkovOnOff
 from ..traffic.patterns import TrafficPattern, UniformRandom
 from ..traffic.source import TrafficSource
+from ..workloads.base import Workload
+from ..workloads.source import WorkloadSource
 from .stats import LatencySample, RunResult, summarize
 
 RouterFactory = Callable[[RouterConfig], Router]
@@ -58,7 +60,7 @@ class SwitchSimulation:
     def __init__(
         self,
         router: Router,
-        load: float,
+        load: float = 0.0,
         packet_size: int = 1,
         pattern: Optional[TrafficPattern] = None,
         injection: str = "bernoulli",
@@ -70,6 +72,7 @@ class SwitchSimulation:
         tracer=None,
         faults=None,
         scheduler: str = "cycle",
+        workload: Optional[Workload] = None,
     ) -> None:
         """``faults`` is an optional :class:`~repro.faults.FaultPlan`:
         when set (and enabled) a
@@ -84,7 +87,13 @@ class SwitchSimulation:
         event is due.  Results are byte-identical either way (the
         goldens and property tests pin this); only
         ``stats.engine.cycles_skipped`` / ``stats.engine.ff_jumps``
-        and wall-clock time differ."""
+        and wall-clock time differ.
+
+        ``workload`` replaces the synthetic sources with one
+        :class:`~repro.workloads.WorkloadSource` per port, all sharing
+        the workload's dependency DAG: a message injects only once its
+        dependencies have been ejected.  Drive with
+        :meth:`run_workload` instead of :meth:`run`."""
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
         if sanitize:
@@ -128,18 +137,28 @@ class SwitchSimulation:
         pattern = pattern or UniformRandom(self.config.radix)
         packet_rate = load * self.config.capacity_flits_per_cycle / packet_size
         peak_rate = self.config.capacity_flits_per_cycle / packet_size
-        self.sources: List[TrafficSource] = []
-        for i in range(self.config.radix):
-            proc: InjectionProcess
-            if injection == "bernoulli":
-                proc = Bernoulli(packet_rate)
-            elif injection == "onoff":
-                proc = MarkovOnOff(packet_rate, peak_rate, avg_burst)
-            else:
-                raise ValueError(f"unknown injection kind {injection!r}")
-            self.sources.append(
-                TrafficSource(i, pattern, proc, packet_size, seed)
-            )
+        self._workload = workload
+        self.sources: List[Union[TrafficSource, WorkloadSource]] = []
+        if workload is not None:
+            if workload.num_ranks > self.config.radix:
+                raise ValueError(
+                    f"workload has {workload.num_ranks} ranks but the "
+                    f"router only has {self.config.radix} ports"
+                )
+            for i in range(self.config.radix):
+                self.sources.append(WorkloadSource(i, workload))
+        else:
+            for i in range(self.config.radix):
+                proc: InjectionProcess
+                if injection == "bernoulli":
+                    proc = Bernoulli(packet_rate)
+                elif injection == "onoff":
+                    proc = MarkovOnOff(packet_rate, peak_rate, avg_burst)
+                else:
+                    raise ValueError(f"unknown injection kind {injection!r}")
+                self.sources.append(
+                    TrafficSource(i, pattern, proc, packet_size, seed)
+                )
         if faults is not None and faults.enabled:
             # Imported lazily: the faults layer sits above the harness.
             from ..faults import SwitchFaultInjector
@@ -209,6 +228,11 @@ class SwitchSimulation:
             if flit.is_tail and flit.measured:
                 self.sample.add(eject_cycle - flit.created_at)
                 self._labeled_outstanding -= 1
+            if flit.is_tail and self._workload is not None:
+                # Delivery unlocks the DAG successors; their ranks
+                # become eligible on a later cycle (the event
+                # scheduler's wake horizon sees this via eligible()).
+                self._workload.deliver(flit.packet_id, eject_cycle)
 
     def _next_work(self, now: int) -> Optional[int]:
         """Wake horizon: earliest cycle >= ``now`` with harness work.
@@ -345,8 +369,18 @@ class SwitchSimulation:
             cycles=self.cycle,
         )
         result.extra["undelivered"] = float(undelivered)
+        self._fold_extras(result)
+        return result
+
+    def _fold_extras(self, result: RunResult) -> None:
+        """Fold shared observability extras into a run result."""
         result.extra["source_backlog"] = float(
             sum(s.backlog() for s in self.sources)
+        )
+        # Peak injection-queue depth across ports: how far the worst
+        # source queue got behind channel bandwidth.
+        result.extra["stats.traffic.max_source_queue"] = float(
+            max((s.peak_backlog for s in self.sources), default=0)
         )
         # Drive-loop observability: how much of the run fast-forward
         # skipped (0 in cycle mode).  Deliberately excluded from
@@ -357,13 +391,54 @@ class SwitchSimulation:
         )
         result.extra["stats.engine.ff_jumps"] = float(self._sched.ff_jumps)
         if self._tracer is not None:
+            if self._workload is not None:
+                self._workload.annotate(self._tracer)
             self._tracer.fold_stats(self.router.stats)
+        if self._workload is not None:
+            self._workload.fold_stats(self.router.stats)
         # Ad-hoc RouterStats.bump() counters ride along under a
         # ``stats.`` prefix so they survive into reports and sweeps
         # instead of being silently dropped with the router instance.
         stats_extra = self.router.stats.extra
         for name in sorted(stats_extra):
             result.extra[f"stats.{name}"] = float(stats_extra[name])
+
+    def run_workload(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Run the attached workload DAG to completion; summarize.
+
+        The simulation advances until every workload message has been
+        delivered (or ``max_cycles`` elapse — the result is then marked
+        saturated and ``undelivered`` counts the stuck messages).  The
+        latency sample holds per-message send-to-ejection latencies
+        from the workload's own records; aggregate DAG metrics (flow
+        percentiles, per-phase step time and skew, makespan) land in
+        the ``stats.workload.*`` extras.
+        """
+        workload = self._workload
+        if workload is None:
+            raise ValueError(
+                "run_workload() needs a SwitchSimulation(workload=...)"
+            )
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        self._count_flits = True
+        start = self.cycle
+        self._sched.run_until(start + max_cycles, stop=workload.done)
+        self._count_flits = False
+        for latency in workload.message_latencies():
+            self.sample.add(latency)
+        result = summarize(
+            offered_load=0.0,
+            sample=self.sample,
+            measured_flits=self.measured_flits,
+            measured_cycles=max(1, self.cycle - start),
+            num_ports=self.config.radix,
+            capacity=self.config.capacity_flits_per_cycle,
+            saturated=not workload.done(),
+            cycles=self.cycle,
+        )
+        result.extra["undelivered"] = float(workload.remaining)
+        self._fold_extras(result)
         return result
 
 

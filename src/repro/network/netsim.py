@@ -21,6 +21,7 @@ from ..core.flit import Flit, make_packet
 from ..core.rng import derive_rng
 from ..engine import EngineHooks, make_scheduler
 from ..harness.stats import LatencySample, RunResult, summarize
+from ..workloads.base import Message, Workload
 from .router import NetworkRouter, NetworkRouterConfig, OutputLink, pipeline_depth_for_radix
 from .topology import FoldedClos, SwitchId, Topology
 
@@ -121,13 +122,14 @@ class NetworkSimulation:
     def __init__(
         self,
         config: NetworkConfig,
-        load: float,
+        load: float = 0.0,
         topology: Optional[Topology] = None,
         host_pattern: Optional[object] = None,
         sanitize: bool = False,
         active_set: bool = True,
         faults: Optional[object] = None,
         scheduler: str = "cycle",
+        workload: Optional[Workload] = None,
     ) -> None:
         """Args:
             config: Router/channel parameters (``radix``/``levels`` are
@@ -159,6 +161,12 @@ class NetworkSimulation:
                 arrival, no injectable backlog, and no scheduled fault
                 event.  Byte-identical results either way; only the
                 ``stats.engine.*`` counters and wall-clock differ.
+            workload: Optional dependency-driven workload (see
+                :mod:`repro.workloads`) whose ranks map to host ids.
+                Replaces the Bernoulli injection process entirely — a
+                message injects at its host only once its DAG
+                dependencies have been delivered.  Drive with
+                :meth:`run_workload` instead of :meth:`run`.
         """
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -166,6 +174,23 @@ class NetworkSimulation:
         self.load = load
         self.topology = topology or FoldedClos(config.radix, config.levels)
         self._host_pattern = host_pattern
+        self._workload = workload
+        if workload is not None:
+            if workload.num_ranks > self.topology.num_hosts:
+                raise ValueError(
+                    f"workload has {workload.num_ranks} ranks but the "
+                    f"topology only has {self.topology.num_hosts} hosts"
+                )
+            if workload.has_self_sends:
+                raise ValueError(
+                    "workload contains self-send messages (src == "
+                    "dest), which cannot be routed between hosts; "
+                    "replay switch traces on --target switch"
+                )
+            # The injection process is replaced by DAG eligibility;
+            # zeroing the rate also bypasses the arrival pre-draw
+            # machinery (heap, numpy mirrors) in event mode.
+            load = 0.0
         self._build_network()
         #: Simulation-level event bus; ``cycle_start``/``cycle_end``
         #: span the whole router set.  Instrumentation (sanitizer,
@@ -201,6 +226,8 @@ class NetworkSimulation:
         self._count_flits = False
         self._outstanding = 0
         self._labeled_total = 0
+        #: Peak per-host injection-queue depth (flits) ever observed.
+        self._peak_source_q = 0
         self.sample = LatencySample()
         self.measured_flits = 0
         # Global in-flight flit event queue: (arrival, seq, flit, target).
@@ -332,11 +359,18 @@ class NetworkSimulation:
             # resyncs before anything else observes this cycle.
             self._faults.advance(now)
         self._deliver_arrivals(now)
-        if self._event_mode:
+        if self._workload is not None:
+            # DAG eligibility replaces the injection process; both
+            # modes pop the same ready messages in ascending host
+            # order, so the shared route RNG stream stays identical.
+            self._generate_workload(now)
+        elif self._event_mode:
             self._generate_event(now)
-            self._inject_event(now)
         else:
             self._generate(now)
+        if self._event_mode:
+            self._inject_event(now)
+        else:
             self._inject(now)
 
     def _next_work(self, now: int) -> Optional[int]:
@@ -366,6 +400,10 @@ class NetworkSimulation:
             retry = max(retry, now)
             if horizon is None or retry < horizon:
                 horizon = retry
+        if self._workload is not None:
+            due = self._workload.next_ready(now)
+            if due is not None and (horizon is None or due < horizon):
+                horizon = due
         return horizon
 
     def _deliver_arrivals(self, now: int) -> None:
@@ -382,6 +420,10 @@ class NetworkSimulation:
                 if flit.is_tail and flit.measured:
                     self.sample.add(now - flit.created_at)
                     self._outstanding -= 1
+                if flit.is_tail and self._workload is not None:
+                    # Delivery unlocks the DAG successors; their hosts
+                    # wake via the next_ready() horizon.
+                    self._workload.deliver(flit.packet_id, now)
 
     def _generate(self, now: int) -> None:
         """Cycle-mode generation: poll every host's process this cycle."""
@@ -509,13 +551,45 @@ class NetworkSimulation:
             else:
                 self._undrawn.add(host)
 
-    def _generate_packet(self, host: int, now: int) -> None:
-        """Create one packet at ``host`` and queue its flits."""
+    def _generate_workload(self, now: int) -> None:
+        """Queue every workload message that became eligible by ``now``.
+
+        Ready hosts are visited in ascending order — the host-order
+        iteration of the cycle-mode generate loop — and both drive
+        modes execute every cycle with an eligible message (the
+        ``next_ready`` horizon pins it), so the shared route RNG
+        stream is consumed identically either way.
+        """
+        workload = self._workload
+        invariant(workload is not None, "workload generation without a "
+                  "workload", cycle=now, check="workload")
+        for host in workload.ready_ranks(now):
+            while True:
+                message = workload.next_message(host, now)
+                if message is None:
+                    break
+                self._generate_packet(host, now, message)
+
+    def _generate_packet(
+        self, host: int, now: int, message: Optional[Message] = None
+    ) -> None:
+        """Create one packet at ``host`` and queue its flits.
+
+        With ``message`` set (workload mode) the destination and size
+        come from the DAG node and the packet is never
+        measurement-labeled — the workload keeps its own send/delivery
+        records; only the route draw touches shared RNG state.
+        """
         rng = self._rngs[host]
-        if self._host_pattern is None:
-            dest = rng.randrange(self.topology.num_hosts)
+        if message is not None:
+            dest = message.dest
+            size = message.size
         else:
-            dest = self._host_pattern.dest(host, rng)
+            if self._host_pattern is None:
+                dest = rng.randrange(self.topology.num_hosts)
+            else:
+                dest = self._host_pattern.dest(host, rng)
+            size = self.config.packet_size
         if self._faults is not None:
             route = self._faults.route(
                 self.topology, host, dest, self._route_rng
@@ -524,15 +598,21 @@ class NetworkSimulation:
             route = self.topology.route(host, dest, self._route_rng)
         flits = make_packet(
             dest=dest,
-            size=self.config.packet_size,
+            size=size,
             src=host,
             created_at=now,
-            measured=self._measuring,
+            measured=self._measuring if message is None else False,
             route=route,
         )
+        if message is not None:
+            invariant(self._workload is not None, "workload message "
+                      "without a workload", cycle=now, check="workload")
+            self._workload.sent(message.node, flits[0].packet_id, now)
         self._source_q[host].extend(flits)
+        if len(self._source_q[host]) > self._peak_source_q:
+            self._peak_source_q = len(self._source_q[host])
         self._backlog_hosts.add(host)
-        if self._measuring:
+        if self._measuring and message is None:
             self._outstanding += 1
             self._labeled_total += 1
 
@@ -639,6 +719,64 @@ class NetworkSimulation:
             sched.cycles_skipped
         )
         result.extra["stats.engine.ff_jumps"] = float(sched.ff_jumps)
+        result.extra["stats.traffic.max_source_queue"] = float(
+            self._peak_source_q
+        )
+        if self._faults is not None:
+            for name in sorted(self._faults.counters):
+                result.extra[f"stats.{name}"] = float(
+                    self._faults.counters[name]
+                )
+        return result
+
+    def run_workload(self, max_cycles: int = 1_000_000) -> RunResult:
+        """Run the attached workload DAG to completion; summarize.
+
+        Advances until every workload message has been delivered or
+        ``max_cycles`` elapse (the result is then marked saturated and
+        ``undelivered`` counts the stuck messages).  The latency
+        sample holds per-message send-to-delivery latencies from the
+        workload's own records; aggregate DAG metrics (makespan, flow
+        percentiles, per-phase step time and skew) land in the
+        ``stats.workload.*`` extras.
+        """
+        workload = self._workload
+        if workload is None:
+            raise ValueError(
+                "run_workload() needs a NetworkSimulation(workload=...)"
+            )
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
+        sched = self._scheduler
+        self._count_flits = True
+        start = self.cycle
+        sched.run_until(start + max_cycles, stop=workload.done)
+        self._count_flits = False
+        for latency in workload.message_latencies():
+            self.sample.add(latency)
+        result = summarize(
+            offered_load=0.0,
+            sample=self.sample,
+            measured_flits=self.measured_flits,
+            measured_cycles=max(1, self.cycle - start),
+            num_ports=self.topology.num_hosts,
+            capacity=1.0 / self.config.flit_cycles,
+            saturated=not workload.done(),
+            cycles=self.cycle,
+        )
+        result.extra["undelivered"] = float(workload.remaining)
+        result.extra["source_backlog"] = float(
+            sum(len(q) for q in self._source_q)
+        )
+        result.extra["stats.engine.cycles_skipped"] = float(
+            sched.cycles_skipped
+        )
+        result.extra["stats.engine.ff_jumps"] = float(sched.ff_jumps)
+        result.extra["stats.traffic.max_source_queue"] = float(
+            self._peak_source_q
+        )
+        for name, value in sorted(workload.stats().items()):
+            result.extra[f"stats.{name}"] = float(value)
         if self._faults is not None:
             for name in sorted(self._faults.counters):
                 result.extra[f"stats.{name}"] = float(
@@ -653,15 +791,16 @@ class ClosNetworkSimulation(NetworkSimulation):
     def __init__(
         self,
         config: NetworkConfig,
-        load: float,
+        load: float = 0.0,
         sanitize: bool = False,
         active_set: bool = True,
         faults: Optional[object] = None,
         scheduler: str = "cycle",
+        workload: Optional[Workload] = None,
     ) -> None:
         super().__init__(config, load, sanitize=sanitize,
                          active_set=active_set, faults=faults,
-                         scheduler=scheduler)
+                         scheduler=scheduler, workload=workload)
 
 
 def run_network_sweep(

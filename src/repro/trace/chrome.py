@@ -10,8 +10,12 @@ Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
   (complete) event with ``ts`` = stage-entry cycle and ``dur`` = cycles
   spent in the stage (one simulated cycle is rendered as 1 µs, the
   trace format's native unit);
-* packet id, flit index, and VC ride in ``args`` so Perfetto's query
-  engine can slice by them;
+* packet id, flit index, VC, and the packet's src/dest ports ride in
+  ``args`` so Perfetto's query engine can slice by them — and so the
+  export round-trips through
+  :func:`repro.workloads.replay.from_chrome_trace`; workload flow and
+  phase annotations (:meth:`TraceCollector.annotate_packet`) merge
+  into the same ``args``;
 * fault injections and recoveries (the collector's ``fault_events``
   log, see :mod:`repro.faults`) become ``"i"`` (instant) events on a
   dedicated ``faults`` track so degradation windows line up visually
@@ -46,6 +50,17 @@ def chrome_trace_events(collector: TraceCollector) -> List[dict]:
             idx = stage_index.setdefault(stage, len(stage_index))
             tid = port * n_stages + idx
             used_tracks[tid] = (port, stage)
+            # src/dest make the export replayable (see
+            # repro.workloads.replay.from_chrome_trace); annotations
+            # carry workload flow/phase labels when present.
+            args = {
+                "packet": rec.packet_id,
+                "flit": rec.flit_index,
+                "vc": rec.vc,
+                "src": rec.src,
+                "dest": rec.dest,
+            }
+            args.update(collector.annotations.get(rec.packet_id, {}))
             events.append({
                 "name": stage,
                 "ph": "X",
@@ -53,11 +68,7 @@ def chrome_trace_events(collector: TraceCollector) -> List[dict]:
                 "dur": end - start,
                 "pid": 0,
                 "tid": tid,
-                "args": {
-                    "packet": rec.packet_id,
-                    "flit": rec.flit_index,
-                    "vc": rec.vc,
-                },
+                "args": args,
             })
     events.sort(key=lambda e: (
         e["ts"], e["tid"], e["name"], e["args"]["packet"], e["args"]["flit"],

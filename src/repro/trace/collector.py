@@ -169,6 +169,10 @@ class TraceCollector:
         #: :mod:`repro.faults`); capped at ``capacity`` entries, oldest
         #: evicted first — the counters above keep exact totals.
         self.fault_events: List[Tuple[str, str, Tuple, int]] = []
+        #: packet_id -> extra labels merged into the packet's Chrome
+        #: span args (workload flow/phase annotations; see
+        #: :meth:`annotate_packet`).
+        self.annotations: Dict[int, Dict[str, str]] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -286,6 +290,16 @@ class TraceCollector:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+
+    def annotate_packet(self, packet_id: int, **labels: str) -> None:
+        """Attach string labels to one packet's exported trace spans.
+
+        Labels accumulate (later calls merge over earlier ones) and
+        surface in the Chrome export's span ``args``; the workload
+        layer uses this to tag packets with their flow and phase.
+        """
+        if labels:
+            self.annotations.setdefault(packet_id, {}).update(labels)
 
     def records(self, completed_only: bool = True) -> List[FlitTrace]:
         """Buffered lifecycle records, oldest first."""

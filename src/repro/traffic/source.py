@@ -46,6 +46,9 @@ class TrafficSource:
         self._rng = derive_rng(seed, "traffic", input_id)
         self.packets_generated = 0
         self.flits_generated = 0
+        # Peak injection-queue depth (flits); queue length only grows
+        # inside generate(), so sampling here captures the true peak.
+        self.peak_backlog = 0
         # Next-arrival prediction state: the injection process is
         # polled ahead of time along this source's private RNG stream.
         # ``_cursor`` is the first cycle whose poll has not been drawn
@@ -108,6 +111,8 @@ class TrafficSource:
         self.queue.extend(flits)
         self.packets_generated += 1
         self.flits_generated += len(flits)
+        if len(self.queue) > self.peak_backlog:
+            self.peak_backlog = len(self.queue)
         return flits[0].packet_id
 
     def head(self) -> Optional[Flit]:

@@ -1,0 +1,243 @@
+"""Collective-communication workload DAGs.
+
+Each builder expresses one collective as message nodes whose edges are
+"packet delivered -> next send eligible" — the dependency structure a
+real collective runtime imposes on the fabric:
+
+* **ring all-reduce** — 2(N-1) steps; at step ``s`` every rank sends
+  one chunk to its right neighbor, gated on having received the step
+  ``s-1`` chunk from its left neighbor (the sends pipeline, exactly
+  like a real ring all-reduce).
+* **recursive-doubling all-reduce** — log2(N) rounds of pairwise
+  exchanges with partner ``rank XOR 2**round``, each round gated on
+  the previous round's received half.
+* **all-to-all** — every rank sends one personalized message to every
+  other rank, all eligible at once (the incast-heavy phase).
+* **ring broadcast** — a chain from the root; each hop forwards after
+  receiving.
+
+The composable forms (``build_*``) append into a shared
+:class:`~repro.workloads.base.WorkloadBuilder` with per-rank entry
+dependencies (``after``) and return per-rank exit dependencies, which
+is how :func:`transformer_decode` sequences attention and MLP
+all-reduces per layer across decode steps, separated by a compute
+``gap`` — the tensor-parallel inference traffic shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .base import Workload, WorkloadBuilder
+
+#: Per-rank dependency frontier: ``after[r]`` gates rank ``r``'s first
+#: sends of a phase; exits likewise name the nodes whose delivery
+#: means rank ``r`` has finished the phase.
+Frontier = List[Tuple[int, ...]]
+
+
+def _entry(after: Optional[Frontier], rank: int) -> Tuple[int, ...]:
+    return after[rank] if after is not None else ()
+
+
+def build_ring_allreduce(
+    builder: WorkloadBuilder,
+    size: int = 1,
+    phase: str = "allreduce",
+    after: Optional[Frontier] = None,
+    gap: int = 0,
+) -> Frontier:
+    """Append a ring all-reduce over every rank; returns the exits."""
+    n = builder.num_ranks
+    steps = 2 * (n - 1)
+    prev: List[int] = []
+    for step in range(steps):
+        cur: List[int] = []
+        for rank in range(n):
+            dest = (rank + 1) % n
+            if step == 0:
+                deps: Sequence[int] = _entry(after, rank)
+                delay = gap
+            else:
+                # Gate on the chunk received from the left neighbor.
+                deps = (prev[(rank - 1) % n],)
+                delay = 0
+            cur.append(builder.add(
+                src=rank, dest=dest, size=size, deps=deps, delay=delay,
+                flow=f"{phase}.r{rank}", phase=phase,
+            ))
+        prev = cur
+    # Rank r's last chunk arrives from its left neighbor at the final
+    # step: that delivery completes the collective for rank r.
+    return [(prev[(rank - 1) % n],) for rank in range(n)]
+
+
+def build_recursive_doubling_allreduce(
+    builder: WorkloadBuilder,
+    size: int = 1,
+    phase: str = "allreduce",
+    after: Optional[Frontier] = None,
+    gap: int = 0,
+) -> Frontier:
+    """Append a recursive-doubling all-reduce (power-of-two ranks)."""
+    n = builder.num_ranks
+    if n & (n - 1):
+        raise ValueError(
+            f"recursive doubling needs a power-of-two rank count, got {n}"
+        )
+    rounds = n.bit_length() - 1
+    prev: List[int] = []
+    for rnd in range(rounds):
+        stride = 1 << rnd
+        cur: List[int] = []
+        for rank in range(n):
+            partner = rank ^ stride
+            if rnd == 0:
+                deps: Sequence[int] = _entry(after, rank)
+                delay = gap
+            else:
+                # Rank needs last round's message *destined to it*
+                # (sent by its previous partner) before combining.
+                deps = (prev[rank ^ (stride >> 1)],)
+                delay = 0
+            cur.append(builder.add(
+                src=rank, dest=partner, size=size, deps=deps, delay=delay,
+                flow=f"{phase}.r{rank}", phase=phase,
+            ))
+        prev = cur
+    final_stride = 1 << (rounds - 1)
+    return [(prev[rank ^ final_stride],) for rank in range(n)]
+
+
+def build_alltoall(
+    builder: WorkloadBuilder,
+    size: int = 1,
+    phase: str = "alltoall",
+    after: Optional[Frontier] = None,
+    gap: int = 0,
+) -> Frontier:
+    """Append an all-to-all: N-1 personalized sends per rank."""
+    n = builder.num_ranks
+    inbound: List[List[int]] = [[] for _ in range(n)]
+    for rank in range(n):
+        deps = _entry(after, rank)
+        for offset in range(1, n):
+            dest = (rank + offset) % n
+            idx = builder.add(
+                src=rank, dest=dest, size=size, deps=deps, delay=gap,
+                flow=f"{phase}.r{rank}", phase=phase,
+            )
+            inbound[dest].append(idx)
+    return [tuple(inbound[rank]) for rank in range(n)]
+
+
+def build_ring_broadcast(
+    builder: WorkloadBuilder,
+    size: int = 1,
+    root: int = 0,
+    phase: str = "broadcast",
+    after: Optional[Frontier] = None,
+    gap: int = 0,
+) -> Frontier:
+    """Append a ring broadcast: root -> root+1 -> ... around the ring."""
+    n = builder.num_ranks
+    exits: List[Tuple[int, ...]] = [() for _ in range(n)]
+    prev: Optional[int] = None
+    first: Optional[int] = None
+    for hop in range(n - 1):
+        src = (root + hop) % n
+        dest = (root + hop + 1) % n
+        deps: Sequence[int]
+        if prev is None:
+            deps = _entry(after, src)
+            delay = gap
+        else:
+            deps = (prev,)
+            delay = 0
+        prev = builder.add(
+            src=src, dest=dest, size=size, deps=deps, delay=delay,
+            flow=f"{phase}.hop{hop}", phase=phase,
+        )
+        if first is None:
+            first = prev
+        exits[dest] = (prev,)
+    # The root is done once its own send has been delivered.
+    if first is not None:
+        exits[root] = (first,)
+    return exits
+
+
+_ALLREDUCE_BUILDERS = {
+    "ring": build_ring_allreduce,
+    "recursive-doubling": build_recursive_doubling_allreduce,
+}
+
+
+def all_reduce(
+    num_ranks: int, size: int = 1, algorithm: str = "ring"
+) -> Workload:
+    """A single all-reduce as a standalone workload."""
+    try:
+        build = _ALLREDUCE_BUILDERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown all-reduce algorithm {algorithm!r}; "
+            f"use one of {sorted(_ALLREDUCE_BUILDERS)}"
+        ) from None
+    builder = WorkloadBuilder(num_ranks, name=f"allreduce-{algorithm}")
+    build(builder, size=size)
+    return builder.build()
+
+
+def all_to_all(num_ranks: int, size: int = 1) -> Workload:
+    """A single all-to-all exchange as a standalone workload."""
+    builder = WorkloadBuilder(num_ranks, name="alltoall")
+    build_alltoall(builder, size=size)
+    return builder.build()
+
+
+def broadcast(num_ranks: int, size: int = 1, root: int = 0) -> Workload:
+    """A single ring broadcast as a standalone workload."""
+    builder = WorkloadBuilder(num_ranks, name="broadcast")
+    build_ring_broadcast(builder, size=size, root=root)
+    return builder.build()
+
+
+def transformer_decode(
+    num_ranks: int,
+    layers: int = 2,
+    steps: int = 1,
+    size: int = 4,
+    gap: int = 8,
+    algorithm: str = "ring",
+) -> Workload:
+    """Tensor-parallel transformer decode traffic.
+
+    Per decode step, per layer: an attention all-reduce then an MLP
+    all-reduce, each entered ``gap`` cycles (the compute time) after
+    the rank finished the previous phase.  Phases are labeled
+    ``s<step>.l<layer>.<attn|mlp>`` so per-phase step time and skew
+    land in ``stats.workload.*``.
+    """
+    if layers < 1:
+        raise ValueError(f"layers must be >= 1, got {layers}")
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    try:
+        build = _ALLREDUCE_BUILDERS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown all-reduce algorithm {algorithm!r}; "
+            f"use one of {sorted(_ALLREDUCE_BUILDERS)}"
+        ) from None
+    builder = WorkloadBuilder(num_ranks, name="decode")
+    frontier: Optional[Frontier] = None
+    for step in range(steps):
+        for layer in range(layers):
+            for sub in ("attn", "mlp"):
+                frontier = build(
+                    builder, size=size,
+                    phase=f"s{step}.l{layer}.{sub}",
+                    after=frontier, gap=gap,
+                )
+    return builder.build()

@@ -1,0 +1,148 @@
+"""Trace-replay workloads: re-inject a recorded flit schedule.
+
+Two ingestion formats:
+
+* **CSV** — one message per row, ``cycle,src,dest,size[,flow]`` (a
+  header row is recognized and skipped; ``#`` comment lines and blank
+  lines are ignored).
+* **Chrome trace JSON** — the export written by ``repro.cli trace
+  --chrome`` (or :func:`repro.trace.chrome.dump_chrome_trace`): each
+  packet's spans are grouped by the ``packet`` arg, its release cycle
+  is the earliest span start, its size the number of distinct flits,
+  and ``src``/``dest`` ride in the span args.
+
+Every replayed message becomes a dependency-free DAG node pinned to an
+absolute release cycle (``at``), so the schedule replays
+cycle-accurately: a message is offered to the fabric at exactly its
+recorded cycle (delivery then depends on the simulated fabric, which
+is the point of replaying against a different configuration).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from .base import Workload, WorkloadBuilder
+
+#: (cycle, src, dest, size, flow) rows ready for DAG construction.
+ReplayRow = Tuple[int, int, int, int, str]
+
+Source = Union[str, Path, Iterable[str]]
+
+
+def _read_lines(source: Source) -> List[str]:
+    if isinstance(source, (str, Path)):
+        return Path(source).read_text(encoding="utf-8").splitlines()
+    return list(source)
+
+
+def parse_csv_rows(source: Source) -> List[ReplayRow]:
+    """Parse ``cycle,src,dest,size[,flow]`` rows from a CSV trace."""
+    rows: List[ReplayRow] = []
+    for lineno, raw in enumerate(_read_lines(source), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = [f.strip() for f in line.split(",")]
+        if lineno == 1 and not fields[0].lstrip("-").isdigit():
+            continue  # header row
+        if len(fields) not in (4, 5):
+            raise ValueError(
+                f"replay CSV line {lineno}: expected "
+                f"cycle,src,dest,size[,flow], got {line!r}"
+            )
+        try:
+            cycle, src, dest, size = (int(f) for f in fields[:4])
+        except ValueError:
+            raise ValueError(
+                f"replay CSV line {lineno}: non-integer field in {line!r}"
+            ) from None
+        flow = fields[4] if len(fields) == 5 else ""
+        rows.append((cycle, src, dest, size, flow))
+    return rows
+
+
+def parse_chrome_rows(source: Source) -> List[ReplayRow]:
+    """Recover per-packet messages from an exported Chrome trace."""
+    text = "\n".join(_read_lines(source))
+    doc = json.loads(text)
+    events = doc.get("traceEvents", doc if isinstance(doc, list) else [])
+    packets: dict = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        if "packet" not in args or "src" not in args or "dest" not in args:
+            continue
+        pid = args["packet"]
+        entry = packets.setdefault(
+            pid, {"at": event["ts"], "src": args["src"],
+                  "dest": args["dest"], "flits": set(),
+                  "flow": args.get("flow", "")},
+        )
+        entry["at"] = min(entry["at"], event["ts"])
+        entry["flits"].add(args.get("flit", 0))
+    rows: List[ReplayRow] = []
+    for pid in sorted(packets):
+        entry = packets[pid]
+        rows.append((
+            int(entry["at"]), int(entry["src"]), int(entry["dest"]),
+            max(1, len(entry["flits"])), str(entry["flow"]),
+        ))
+    return rows
+
+
+def _workload_from_rows(
+    rows: List[ReplayRow], num_ranks: Optional[int], name: str
+) -> Workload:
+    if not rows:
+        raise ValueError("replay trace contains no messages")
+    needed = 1 + max(max(r[1], r[2]) for r in rows)
+    ranks = num_ranks if num_ranks is not None else max(2, needed)
+    if needed > ranks:
+        raise ValueError(
+            f"replay trace references rank {needed - 1} but the "
+            f"workload only has {ranks} ranks"
+        )
+    # Switch traces legitimately carry src == dest rows (a packet in
+    # and out of the same port number), so replay allows them; the
+    # network harness rejects such workloads at attach time instead.
+    builder = WorkloadBuilder(ranks, name=name, allow_self=True)
+    # Stable release order: by cycle, then src, then dest.
+    for cycle, src, dest, size, flow in sorted(rows):
+        builder.add(
+            src=src, dest=dest, size=size, at=cycle, flow=flow,
+            phase="replay",
+        )
+    return builder.build()
+
+
+def from_csv(source: Source, num_ranks: Optional[int] = None) -> Workload:
+    """Build a replay workload from a CSV flit schedule."""
+    return _workload_from_rows(
+        parse_csv_rows(source), num_ranks, "replay-csv"
+    )
+
+
+def from_chrome_trace(
+    source: Source, num_ranks: Optional[int] = None
+) -> Workload:
+    """Build a replay workload from an exported Chrome trace."""
+    return _workload_from_rows(
+        parse_chrome_rows(source), num_ranks, "replay-chrome"
+    )
+
+
+def load_trace(source: Source, num_ranks: Optional[int] = None) -> Workload:
+    """Sniff the format (JSON vs CSV) and build the replay workload."""
+    lines = _read_lines(source)
+    for line in lines:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped[0] in "{[":
+            return from_chrome_trace(lines, num_ranks)
+        break
+    return from_csv(lines, num_ranks)

@@ -1,0 +1,83 @@
+"""Closed-loop request/reply workloads.
+
+Every client rank runs ``window`` independent closed-loop chains
+against its server: a request is sent, the server replies (reply
+packets are typically larger — a read response), and after ``think``
+cycles of client think time the next request of that chain becomes
+eligible.  Offered load therefore *emerges* from the round-trip
+latency — the closed-loop saturation behavior an open-loop injection
+process cannot express: when the fabric slows down, the clients slow
+down with it instead of building an unbounded backlog.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .base import Workload, WorkloadBuilder
+
+
+def _opposite(num_ranks: int) -> Callable[[int], int]:
+    def partner(rank: int) -> int:
+        return (rank + num_ranks // 2) % num_ranks
+    return partner
+
+
+def request_reply(
+    num_ranks: int,
+    requests: int = 4,
+    window: int = 1,
+    think: int = 0,
+    service: int = 0,
+    request_size: int = 1,
+    reply_size: int = 4,
+    partner: Optional[Callable[[int], int]] = None,
+) -> Workload:
+    """Build the closed-loop request/reply workload.
+
+    Args:
+        num_ranks: Every rank acts as a client (and as some other
+            rank's server).
+        requests: Transactions per chain.
+        window: Independent outstanding-request chains per client
+            (the client's maximum outstanding requests).
+        think: Client think time between receiving a reply and the
+            chain's next request becoming eligible.
+        service: Server-side delay between receiving a request and the
+            reply becoming eligible.
+        request_size / reply_size: Packet sizes in flits.
+        partner: client rank -> server rank map; defaults to the rank
+            halfway across (guaranteeing off-node traffic).
+
+    Each transaction carries a ``rr.<client>.<chain>.<i>`` flow label,
+    so ``stats.workload.flow_p50``/``flow_p99`` report transaction
+    round-trip percentiles.
+    """
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    pick = partner if partner is not None else _opposite(num_ranks)
+    builder = WorkloadBuilder(num_ranks, name="request-reply")
+    for client in range(num_ranks):
+        server = pick(client)
+        if server == client:
+            raise ValueError(
+                f"partner({client}) == {client}; a rank cannot serve "
+                "itself"
+            )
+        for chain in range(window):
+            prev_reply: Optional[int] = None
+            for i in range(requests):
+                flow = f"rr.{client}.{chain}.{i}"
+                req = builder.add(
+                    src=client, dest=server, size=request_size,
+                    deps=() if prev_reply is None else (prev_reply,),
+                    delay=think if prev_reply is not None else 0,
+                    flow=flow, phase="",
+                )
+                prev_reply = builder.add(
+                    src=server, dest=client, size=reply_size,
+                    deps=(req,), delay=service, flow=flow, phase="",
+                )
+    return builder.build()

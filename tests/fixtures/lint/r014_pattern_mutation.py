@@ -1,0 +1,52 @@
+"""R014 fixture: traffic probes (``TrafficPattern.dest`` /
+``Workload.eligible``) that mutate state, directly or through their
+call chains."""
+
+
+class TrafficPattern:
+    def dest(self, src, rng):
+        raise NotImplementedError
+
+
+class RotatingPattern(TrafficPattern):
+    def dest(self, src, rng):
+        self.offset = self.offset + 1
+        return (src + self.offset) % self.radix
+
+
+class CachingPattern(TrafficPattern):
+    def dest(self, src, rng):
+        return self._lookup(src, rng)
+
+    def _lookup(self, src, rng):
+        self.cache[src] = rng.randrange(self.radix)
+        return self.cache[src]
+
+
+class CleanPattern(TrafficPattern):
+    def dest(self, src, rng):
+        return self._draw(src, rng)
+
+    def _draw(self, src, rng):
+        return (src + rng.randrange(self.radix - 1) + 1) % self.radix
+
+
+class Workload:
+    def eligible(self, rank, now):
+        return None
+
+
+class AdvancingWorkload(Workload):
+    def eligible(self, rank, now):
+        if self.heaps[rank]:
+            self.cursor[rank] = now
+            return self.heaps[rank][0]
+        return None
+
+
+class CleanWorkload(Workload):
+    def eligible(self, rank, now):
+        if self.heaps[rank]:
+            ready = self.heaps[rank][0]
+            return ready if ready > now else now
+        return None

@@ -186,3 +186,85 @@ class TestPipelineCommand:
         assert "Figure 5(b)" in out
         assert "SA1*" in out
         assert "head-flit latency" in out
+
+
+class TestWorkloadCommand:
+    def test_switch_decode_sweep(self, capsys):
+        rc = main([
+            "workload", "--family", "decode", "--target", "switch",
+            "--arch", "baseline", "--radix", "8", "--vcs", "2",
+            "--sizes", "1,2", "--steps", "1", "--gap", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "decode on baseline radix-8 switch (8 ranks)" in out
+        assert "makespan" in out and "skew max" in out
+
+    def test_network_allreduce_with_dead_link(self, capsys):
+        rc = main([
+            "workload", "--family", "allreduce", "--target", "network",
+            "--radix", "4", "--levels", "2", "--vcs", "2",
+            "--kill-links", "1", "--kill-at", "10", "--heal-at", "200",
+            "--scheduler", "event",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 dead link(s)" in out
+        assert "False" in out  # collective completed despite the fault
+
+    def test_request_reply_window_sweep(self, capsys):
+        rc = main([
+            "workload", "--family", "request-reply", "--target",
+            "switch", "--arch", "baseline", "--radix", "8", "--vcs",
+            "2", "--windows", "1,2", "--requests", "2", "--think", "5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4  # two sweep rows plus header
+
+    def test_replay_from_csv_file(self, capsys, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "cycle,src,dest,size,flow\n0,0,5,2,a\n3,1,4,1,\n7,2,6,2,b\n"
+        )
+        rc = main([
+            "workload", "--family", "replay", "--replay", str(trace),
+            "--target", "switch", "--arch", "baseline", "--radix", "8",
+            "--vcs", "2",
+        ])
+        assert rc == 0
+        assert "replay" in capsys.readouterr().out
+
+    def test_replay_requires_path(self, capsys):
+        rc = main([
+            "workload", "--family", "replay", "--target", "switch",
+            "--arch", "baseline", "--radix", "8",
+        ])
+        assert rc == 2
+        assert "--replay" in capsys.readouterr().err
+
+    def test_rejects_oversubscribed_ranks(self, capsys):
+        rc = main([
+            "workload", "--family", "allreduce", "--target", "switch",
+            "--arch", "baseline", "--radix", "8", "--ranks", "16",
+        ])
+        assert rc == 2
+        assert "exceed" in capsys.readouterr().err
+
+    def test_kill_links_needs_network(self, capsys):
+        rc = main([
+            "workload", "--family", "allreduce", "--target", "switch",
+            "--arch", "baseline", "--radix", "8", "--kill-links", "1",
+        ])
+        assert rc == 2
+        assert "network" in capsys.readouterr().err
+
+    def test_deterministic_output(self, capsys):
+        argv = [
+            "workload", "--family", "alltoall", "--target", "network",
+            "--radix", "4", "--levels", "2", "--vcs", "2",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first

@@ -35,6 +35,7 @@ def test_example_files_exist():
         "mesh_vs_clos.py",
         "debug_with_metrics.py",
         "reproduce_figures.py",
+        "decode_sweep.py",
     }
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= present
@@ -87,3 +88,11 @@ def test_debug_with_metrics_runs():
 def test_reproduce_figures_analytic():
     out = _run("reproduce_figures.py", "--figures", "2,3")
     assert "k*" in out
+
+
+@pytest.mark.slow
+def test_decode_sweep_runs(tmp_path):
+    out_file = tmp_path / "decode.json"
+    out = _run("decode_sweep.py", str(out_file))
+    assert "reloaded byte-equivalent" in out
+    assert out_file.exists()

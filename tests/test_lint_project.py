@@ -356,7 +356,7 @@ class TestRuleCatalogue:
         assert codes == [
             "R001", "R002", "R003", "R004", "R005", "R006",
             "R007", "R008", "R009", "R010", "R011", "R012",
-            "R013",
+            "R013", "R014",
         ]
 
     def test_filter_rules_select_and_ignore(self):
