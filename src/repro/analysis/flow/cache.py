@@ -29,7 +29,9 @@ import tempfile
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Bump when the summary schema or cached-finding shape changes.
-CACHE_VERSION = 1
+#: 2: ClassSummary.snapshot_wiring + MethodSummary.raises_only (R010
+#: snapshot-completeness).
+CACHE_VERSION = 2
 
 #: Default store location, relative to the working directory.
 DEFAULT_CACHE_PATH = ".lint-cache.json"

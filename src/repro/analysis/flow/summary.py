@@ -107,6 +107,7 @@ class MethodSummary:
     calls_super_init: bool = False
     explicit_init_bases: List[str] = field(default_factory=list)
     returns_closure: bool = False
+    raises_only: bool = False  #: body is nothing but ``raise`` (a stub)
 
 
 @dataclass
@@ -117,6 +118,10 @@ class ClassSummary:
     line: int
     bases: List[str]  #: dotted refs after import resolution
     methods: Dict[str, MethodSummary] = field(default_factory=dict)
+    #: string entries of a class-body ``SNAPSHOT_WIRING = (...)`` tuple —
+    #: attributes the serialization rule (R010) must treat as live
+    #: wiring that ``restore`` re-attaches rather than deserializes
+    snapshot_wiring: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -152,6 +157,7 @@ class FileSummary:
                 calls_super_init=m["calls_super_init"],
                 explicit_init_bases=m["explicit_init_bases"],
                 returns_closure=m["returns_closure"],
+                raises_only=m["raises_only"],
             )
 
         return cls(
@@ -161,6 +167,7 @@ class FileSummary:
                 ClassSummary(
                     name=c["name"], line=c["line"], bases=c["bases"],
                     methods={k: method(v) for k, v in c["methods"].items()},
+                    snapshot_wiring=c["snapshot_wiring"],
                 )
                 for c in data["classes"]
             ],
@@ -244,6 +251,24 @@ def _value_kind(value: Optional[ast.expr]) -> str:
     ):
         return f"self_attr:{value.attr}"
     return "plain"
+
+
+def _raises_only(body: List[ast.stmt]) -> bool:
+    """True for stub bodies: docstring plus nothing but ``raise``.
+
+    Such methods deliberately opt *out* of a protocol (e.g. a sharded
+    simulation whose ``snapshot`` raises), so serialization rules must
+    not treat them as entry points.
+    """
+    stmts = list(body)
+    if (
+        stmts
+        and isinstance(stmts[0], ast.Expr)
+        and isinstance(stmts[0].value, ast.Constant)
+        and isinstance(stmts[0].value.value, str)
+    ):
+        stmts = stmts[1:]
+    return bool(stmts) and all(isinstance(s, ast.Raise) for s in stmts)
 
 
 def _contains_unstable_key(node: ast.expr) -> List[str]:
@@ -364,6 +389,7 @@ class _Summarizer(ast.NodeVisitor):
                 self.visit(stmt)
             self._method_stack.pop()
             return
+        method.raises_only = _raises_only(node.body)
         self._method_stack.append(method)
         for stmt in node.body:
             self.visit(stmt)
@@ -401,9 +427,33 @@ class _Summarizer(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._record_write(target, node.value, node.lineno)
+        self._maybe_snapshot_wiring(node)
         self.generic_visit(node)
         # After generic_visit so the RngSite for the RHS call exists.
         self._maybe_rng_assignment(node)
+
+    def _maybe_snapshot_wiring(
+        self, node: "ast.Assign | ast.AnnAssign"
+    ) -> None:
+        """Record a class-body ``SNAPSHOT_WIRING = ("attr", ...)``
+        (plain or annotated assignment)."""
+        if not self._class_stack or self._method_stack:
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        if not any(
+            isinstance(t, ast.Name) and t.id == "SNAPSHOT_WIRING"
+            for t in targets
+        ):
+            return
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return
+        self._class_stack[-1].snapshot_wiring = [
+            elt.value
+            for elt in node.value.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        ]
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._record_write(node.target, None, node.lineno)
@@ -412,6 +462,7 @@ class _Summarizer(ast.NodeVisitor):
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if node.value is not None:
             self._record_write(node.target, node.value, node.lineno)
+            self._maybe_snapshot_wiring(node)
         self.generic_visit(node)
         if node.value is not None:
             self._maybe_rng_assignment(node)

@@ -256,13 +256,29 @@ class RngStreamRule(ProjectRule):
 
 
 class SerializationReadinessRule(ProjectRule):
-    """R010: component state must stay picklable for checkpoint/restore."""
+    """R010: component state must survive checkpoint/restore.
+
+    Two sub-checks share the code:
+
+    * *Picklability* — two-phase/router-family classes must not store
+      lambdas, generators, open handles, locks, or bound-method/closure
+      captures on state.
+    * *Snapshot completeness* — any class defining its own
+      ``snapshot``/``_snapshot_state`` is an explicit serialization
+      entry point: every attribute its ``__init__`` assigns must either
+      be read somewhere along the snapshot call chain or be declared in
+      ``SNAPSHOT_WIRING`` (live wiring that ``restore`` re-attaches).
+      Stub bodies that only ``raise`` opt out, as do snapshots that
+      capture ``self.__dict__`` wholesale.
+    """
 
     code = "R010"
     name = "serialization-readiness"
     description = (
-        "component classes must not store lambdas, generators, open "
-        "handles, locks, or bound-method/closure captures on state"
+        "component classes must not store unpicklable values on state, "
+        "and explicit snapshot()/_snapshot_state() methods must capture "
+        "(or declare as SNAPSHOT_WIRING) every __init__-assigned "
+        "attribute"
     )
 
     _KIND_LABELS = {
@@ -272,7 +288,14 @@ class SerializationReadinessRule(ProjectRule):
         "lock": "a synchronization primitive",
     }
 
+    #: Method names that make a class an explicit serialization point.
+    _ENTRY_POINTS = ("snapshot", "_snapshot_state")
+
     def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        yield from self._check_picklability(index)
+        yield from self._check_snapshot_completeness(index)
+
+    def _check_picklability(self, index: "ProjectIndex") -> Iterator[Finding]:
         family = {
             qual
             for qual, _, _ in index.iter_classes()
@@ -306,6 +329,67 @@ class SerializationReadinessRule(ProjectRule):
                         "callables to another object's state blocks "
                         "checkpoint/restore of that component",
                     )
+
+    def _check_snapshot_completeness(
+        self, index: "ProjectIndex"
+    ) -> Iterator[Finding]:
+        for qual, summary, cls in index.iter_classes():
+            entries = [
+                cls.methods[name]
+                for name in self._ENTRY_POINTS
+                if name in cls.methods and not cls.methods[name].raises_only
+            ]
+            init = cls.methods.get("__init__")
+            if not entries or init is None:
+                continue
+            reads = self._snapshot_reads(index, qual, entries)
+            if "__dict__" in reads:
+                continue  # wholesale capture — trivially complete
+            wiring = self._mro_wiring(index, qual)
+            entry_names = " / ".join(f"`{m.name}`" for m in entries)
+            seen: Set[str] = set()
+            for w in init.self_writes:
+                if w.attr in seen or w.attr in reads or w.attr in wiring:
+                    continue
+                seen.add(w.attr)
+                yield self.project_finding(
+                    summary.path, w.line,
+                    f"`{cls.name}.__init__` assigns `self.{w.attr}` but "
+                    f"the serialization entry point ({entry_names}) never "
+                    "reads it and no SNAPSHOT_WIRING entry excludes it; "
+                    "checkpoint/restore would silently drop this state",
+                )
+
+    @staticmethod
+    def _snapshot_reads(
+        index: "ProjectIndex", qual: str, entries: List[MethodSummary]
+    ) -> Set[str]:
+        """Attributes read anywhere along the snapshot call chain."""
+        reads: Set[str] = set()
+        queue = list(entries)
+        visited = {m.name for m in entries}
+        while queue:
+            method = queue.pop()
+            reads.update(method.self_reads)
+            for call in method.self_calls:
+                if call.name in visited:
+                    continue
+                visited.add(call.name)
+                resolved = index.resolve_method(qual, call.name)
+                if resolved is not None:
+                    queue.append(resolved[1])
+        return reads
+
+    @staticmethod
+    def _mro_wiring(index: "ProjectIndex", qual: str) -> Set[str]:
+        """Union of ``SNAPSHOT_WIRING`` declarations along the MRO."""
+        wiring: Set[str] = set()
+        chain, _ = index.mro(qual)
+        for ancestor in chain:
+            entry = index.classes.get(ancestor)
+            if entry is not None:
+                wiring.update(entry[1].snapshot_wiring)
+        return wiring
 
     def _unpicklable_label(
         self, index: "ProjectIndex", qual: str, kind: str

@@ -229,21 +229,44 @@ def cmd_run(args: argparse.Namespace) -> int:
     """
     from .analysis.sanitizer import SimSanitizer
     from .core.errors import InvariantViolation
+    from .harness import load_checkpoint
     from .harness.experiment import SwitchSimulation
 
-    config = _config_from_args(args)
-    router = ARCHITECTURES[args.arch](config)
-    sim = SwitchSimulation(
-        router,
-        load=args.load,
-        packet_size=args.packet_size,
-        pattern=_make_pattern(args.pattern, config),
-        injection=args.injection,
-        sanitize=args.sanitize,
-        scheduler=args.scheduler,
-    )
+    if args.resume and args.sanitize:
+        print("run: --resume and --sanitize cannot be combined (the "
+              "checkpoint spec carries its own settings)", file=sys.stderr)
+        return 2
+    if args.resume:
+        sim = load_checkpoint(args.resume)
+        config = sim.router.config
+        arch_label = f"resumed {type(sim.router).__name__}"
+    else:
+        config = _config_from_args(args)
+        router = ARCHITECTURES[args.arch](config)
+        sim = SwitchSimulation(
+            router,
+            load=args.load,
+            packet_size=args.packet_size,
+            pattern=_make_pattern(args.pattern, config),
+            injection=args.injection,
+            sanitize=args.sanitize,
+            scheduler=args.scheduler,
+        )
+        sim.start_run(_settings(args))
+        arch_label = args.arch
     try:
-        result = sim.run(_settings(args))
+        if args.checkpoint_every:
+            # Pause every N cycles to persist a resumable snapshot;
+            # pausing never perturbs the run (see advance_run).
+            while not sim.advance_run(
+                stop_at=sim.cycle + args.checkpoint_every
+            ):
+                sim.save_checkpoint(args.checkpoint)
+                print(f"run: checkpoint at cycle {sim.cycle} -> "
+                      f"{args.checkpoint}", file=sys.stderr)
+        else:
+            sim.advance_run()
+        result = sim.finish_run()
         if args.sanitize:
             # Drain to empty so the final accounting can be exact.
             sim.stop_sources()
@@ -266,7 +289,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             ("avg latency", f"{result.avg_latency:.1f}"),
             ("saturated", str(result.saturated)),
         ],
-        title=f"{args.arch} @ radix {config.radix}, load {args.load}"
+        title=f"{arch_label} @ radix {config.radix}, load "
+              f"{result.offered_load:.2f}"
               + (" [sanitized]" if args.sanitize else ""),
     ))
     if args.sanitize:
@@ -605,6 +629,10 @@ def cmd_network(args: argparse.Namespace) -> int:
             print(f"network: {name.replace('_', '-')} {rate} "
                   f"outside [0, 1)", file=sys.stderr)
             return 2
+    if args.shards and args.sanitize:
+        print("network: --shards and --sanitize cannot be combined",
+              file=sys.stderr)
+        return 2
     plan = FaultPlan(
         corrupt_rate=args.corrupt_rate,
         credit_loss_rate=args.credit_loss,
@@ -615,13 +643,27 @@ def cmd_network(args: argparse.Namespace) -> int:
         ("low-radix", args.low_radix, args.low_levels),
     ):
         cfg = NetworkConfig(radix=radix, levels=levels)
-        sim = ClosNetworkSimulation(
-            cfg, args.load, sanitize=args.sanitize,
-            faults=plan if plan.enabled else None,
-            scheduler=args.scheduler,
-        )
-        r = sim.run(warmup=args.warmup, measure=args.measure,
-                    drain=args.drain)
+        if args.shards:
+            from .network import ShardedNetworkSimulation
+
+            sim = ShardedNetworkSimulation(
+                cfg, args.load, shards=args.shards,
+                faults=plan if plan.enabled else None,
+                scheduler=args.scheduler,
+            )
+            try:
+                r = sim.run(warmup=args.warmup, measure=args.measure,
+                            drain=args.drain)
+            finally:
+                sim.close()
+        else:
+            sim = ClosNetworkSimulation(
+                cfg, args.load, sanitize=args.sanitize,
+                faults=plan if plan.enabled else None,
+                scheduler=args.scheduler,
+            )
+            r = sim.run(warmup=args.warmup, measure=args.measure,
+                        drain=args.drain)
         rows.append((
             name, radix, 2 * levels - 1, sim.topology.num_hosts,
             f"{r.avg_latency:.1f}", f"{r.throughput:.3f}",
@@ -697,6 +739,17 @@ def build_parser() -> argparse.ArgumentParser:
     run = subs.add_parser("run", help="single measured run (sanitizable)")
     run.add_argument("--arch", choices=ARCHITECTURES, default="hierarchical")
     run.add_argument("--load", type=float, default=0.5)
+    run.add_argument("--checkpoint-every", type=int, default=0,
+                     metavar="N",
+                     help="pause every N cycles and save a resumable "
+                          "checkpoint to --checkpoint")
+    run.add_argument("--checkpoint", default="run.ckpt", metavar="PATH",
+                     help="checkpoint file written by --checkpoint-every "
+                          "(default: run.ckpt)")
+    run.add_argument("--resume", default=None, metavar="PATH",
+                     help="resume a run from a checkpoint file instead of "
+                          "starting fresh (byte-identical to the "
+                          "uninterrupted run)")
     run.add_argument("--sanitize", action="store_true",
                      help="verify conservation invariants every cycle")
     _add_router_args(run)
@@ -860,6 +913,9 @@ def build_parser() -> argparse.ArgumentParser:
     net.add_argument("--drain", type=int, default=8000)
     net.add_argument("--sanitize", action="store_true",
                      help="check link credit conservation every cycle")
+    net.add_argument("--shards", type=int, default=0, metavar="N",
+                     help="partition each Clos across N worker processes "
+                          "(byte-identical to the serial run)")
     net.add_argument("--corrupt-rate", type=float, default=0.0,
                      help="host-channel flit corruption probability "
                           "(builds a fault plan when nonzero)")

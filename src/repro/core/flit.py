@@ -14,6 +14,7 @@ timestamps) rather than re-wrapping it at each stage.
 
 from __future__ import annotations
 
+import copy
 import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -25,6 +26,22 @@ def reset_packet_ids() -> None:
     """Reset the global packet-id counter (useful for reproducible tests)."""
     global _packet_ids
     _packet_ids = itertools.count()
+
+
+def packet_id_state() -> int:
+    """The next packet id the global counter will hand out.
+
+    Peeked via a copy so the counter itself never advances; paired
+    with :func:`set_packet_id_state` to checkpoint/restore the global
+    allocation stream.
+    """
+    return next(copy.copy(_packet_ids))
+
+
+def set_packet_id_state(next_id: int) -> None:
+    """Restart the global packet-id counter at ``next_id``."""
+    global _packet_ids
+    _packet_ids = itertools.count(next_id)
 
 
 @dataclass

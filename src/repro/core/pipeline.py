@@ -8,9 +8,10 @@ items inserted at cycle ``t`` become visible at cycle ``t + latency``.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
-from typing import Generic, List, Tuple, TypeVar
+from typing import Any, Callable, Dict, Generic, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -52,6 +53,23 @@ class DelayLine(Generic[T]):
         """Return matured items without removing them."""
         return [item for due, _, item in self._heap if due <= now]
 
+    def pending(self, now: int) -> List[Tuple[int, T]]:
+        """``(due, item)`` pairs maturing by ``now``, in pop order.
+
+        Unlike :meth:`peek_ready` (heap-array order, sufficient for
+        membership probes) this sorts on ``(due, insertion counter)``,
+        so the returned sequence matches exactly what successive
+        :meth:`pop_ready` calls will deliver — the sharded engine
+        pre-draws per-credit fault decisions against this order.
+        Pure read.
+        """
+        return [
+            (due, item)
+            for due, _, item in sorted(
+                entry for entry in self._heap if entry[0] <= now
+            )
+        ]
+
     def next_due(self) -> "int | None":
         """Maturity cycle of the earliest queued item, or None.
 
@@ -66,6 +84,41 @@ class DelayLine(Generic[T]):
     def items(self) -> List[T]:
         """Every queued item, matured or not (for invariant probes)."""
         return [item for _, _, item in self._heap]
+
+    def dump(
+        self, encode: Optional[Callable[[T], Any]] = None
+    ) -> Dict[str, Any]:
+        """Serializable capture: entries (sorted), counter position.
+
+        ``encode`` maps each item to a picklable stand-in (e.g. a sink
+        callback to its port index); identity when omitted.  The
+        insertion counters are kept verbatim so a :meth:`load` twin
+        pops in exactly the original order.
+        """
+        return {
+            "latency": self.latency,
+            "counter": next(copy.copy(self._counter)),
+            "entries": [
+                (due, cnt, item if encode is None else encode(item))
+                for due, cnt, item in sorted(self._heap)
+            ],
+        }
+
+    @classmethod
+    def load(
+        cls,
+        state: Dict[str, Any],
+        decode: Optional[Callable[[Any], T]] = None,
+    ) -> "DelayLine[T]":
+        """Rebuild a delay line from a :meth:`dump` capture."""
+        line: "DelayLine[T]" = cls(state["latency"])
+        line._heap = [
+            (due, cnt, item if decode is None else decode(item))
+            for due, cnt, item in state["entries"]
+        ]
+        heapq.heapify(line._heap)
+        line._counter = itertools.count(state["counter"])
+        return line
 
     def __len__(self) -> int:
         return len(self._heap)

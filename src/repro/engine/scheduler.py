@@ -54,7 +54,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import insort
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..core.errors import UnregisteredComponentError
 from .component import Component
@@ -232,6 +232,69 @@ class Scheduler:
             self._tick()
         return self.now
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    #: Wiring and derived attributes a snapshot must not capture: the
+    #: registered components checkpoint themselves, callbacks and wake
+    #: sources are re-wired by the owning harness at construction, and
+    #: ``_active_slots``/``_n_active``/``_index`` are rebuilt from the
+    #: ``active`` flags on restore.
+    SNAPSHOT_WIRING = (
+        "components", "hooks", "active_set", "_index", "_active",
+        "_active_slots", "_n_active", "_pre_cycle", "_post_cycle",
+        "_wake_sources",
+    )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable scheduler state: clock, counters, active flags."""
+        return {
+            "now": self.now,
+            "cycles_run": self.cycles_run,
+            "component_steps": self.component_steps,
+            "cycles_skipped": self.cycles_skipped,
+            "ff_jumps": self.ff_jumps,
+            "active": list(self._active),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Apply a :meth:`snapshot` onto this scheduler in place.
+
+        The registered component set must match the snapshotted one
+        (same count, same order); the components themselves are
+        restored separately by the owning harness.
+        """
+        active = state["active"]
+        if len(active) != len(self.components):
+            raise ValueError(
+                f"snapshot captured {len(active)} components, scheduler "
+                f"has {len(self.components)}"
+            )
+        self.now = state["now"]
+        self.cycles_run = state["cycles_run"]
+        self.component_steps = state["component_steps"]
+        self.cycles_skipped = state["cycles_skipped"]
+        self.ff_jumps = state["ff_jumps"]
+        self._active = list(active)
+        self._active_slots = [s for s, on in enumerate(active) if on]
+        self._n_active = len(self._active_slots)
+
+    def next_horizon(self, now: int) -> Optional[int]:
+        """Earliest upcoming cycle with possible work, or None.
+
+        Pure read over the wake sources (and, in event mode, the time
+        wheel's live head); the cycle stepper never jumps, but exposes
+        the same probe so sharded workers can report a horizon in
+        either mode.
+        """
+        horizon: Optional[int] = None
+        for source in self._wake_sources:
+            h = source(now)
+            if h is not None and (horizon is None or h < horizon):
+                horizon = h
+        return horizon
+
 
 class EventScheduler(Scheduler):
     """Event-driven drive mode: fast-forward over provably-idle spans.
@@ -349,6 +412,21 @@ class EventScheduler(Scheduler):
                     continue
             self._tick()
         return self.now
+
+    def snapshot(self) -> Dict[str, Any]:
+        state = super().snapshot()
+        state["wheel"] = sorted(self._wheel)
+        return state
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        super().restore(state)
+        wheel = list(state["wheel"])
+        heapq.heapify(wheel)
+        self._wheel = wheel
+
+    def next_horizon(self, now: int) -> Optional[int]:
+        """Wheel head merged with the wake sources (see base class)."""
+        return self._next_horizon(now)
 
 
 def make_scheduler(

@@ -23,7 +23,7 @@ so every injection and recovery lands at a schedule-independent point.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..core.credit import CreditCounter
 from ..core.rng import derive_rng
@@ -66,6 +66,9 @@ class _ChannelFaults:
     after one or more corruptions is the retransmission recovery.
     """
 
+    #: Construction-time wiring, reattached (not serialized) on restore.
+    SNAPSHOT_WIRING = ("plan", "hooks", "_bump")
+
     def __init__(self, plan: FaultPlan, seed: int, num_channels: int,
                  hooks, bump: Callable[[str], None]) -> None:
         self.plan = plan
@@ -77,6 +80,25 @@ class _ChannelFaults:
         ]
         self._attempts = [0] * num_channels
         self._retry_at = [0] * num_channels
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable capture: per-channel RNG states and back-off state."""
+        return {
+            "rngs": [rng.getstate() for rng in self._rngs],
+            "attempts": list(self._attempts),
+            "retry_at": list(self._retry_at),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        for rng, rng_state in zip(self._rngs, state["rngs"]):
+            rng.setstate(rng_state)
+        self._attempts = list(state["attempts"])
+        self._retry_at = list(state["retry_at"])
+
+    def rebind_bump(self, bump: Callable[[str], None]) -> None:
+        """Repoint the counter sink (the owner's stats object may have
+        been replaced by a restore)."""
+        self._bump = bump
 
     def channel_ready(self, channel: int, now: int) -> bool:
         """False while ``channel`` is backing off after a corruption."""
@@ -157,6 +179,11 @@ class SwitchFaultInjector:
     folded into run results as ``stats.faults.*``.
     """
 
+    #: Wiring and derived indexes rebuilt by :meth:`restore` rather than
+    #: captured in :meth:`snapshot` (see lint rule R010).
+    SNAPSHOT_WIRING = ("plan", "router", "hooks", "credit_capable",
+                       "_counter_where", "_schedule")
+
     def __init__(self, plan: FaultPlan, router, seed: int) -> None:
         if not plan.enabled:
             raise ValueError("refusing to attach a disabled FaultPlan")
@@ -187,35 +214,68 @@ class SwitchFaultInjector:
     # Wiring
     # ------------------------------------------------------------------
 
-    def _install_credit_hooks(self) -> None:
+    def _credit_taps(self) -> List[object]:
         taps = list(getattr(self.router, "_credit_pipes", ()) or ())
         taps.extend(getattr(self.router, "_credit_buses", ()) or ())
         pipe = getattr(self.router, "_credit_pipe", None)
         if pipe is not None:
             taps.append(pipe)
+        return taps
+
+    def _install_credit_hooks(self) -> None:
+        taps = self._credit_taps()
         for tap in taps:
             tap.drop_hook = _DropHook(self)
         self.credit_capable = bool(taps)
         self._map_counters()
 
-    def _map_counters(self) -> None:
-        """Label credit counters by their stable (i, j[, vc]) address,
-        so dropped-credit events can name a location (the runtime keys
-        are object ids, but the emitted labels are the addresses)."""
+    def detach_credit_hooks(self) -> None:
+        """Remove the drop taps (pipes revert to the zero-cost path).
+
+        The checkpoint layer detaches around a router snapshot so the
+        captured pipes don't drag the injector (and through its hook
+        bus, the whole simulation) into the copied object graph;
+        :meth:`attach_credit_hooks` re-installs the taps.
+        """
+        for tap in self._credit_taps():
+            tap.drop_hook = None
+
+    def attach_credit_hooks(self) -> None:
+        """Re-install the taps removed by :meth:`detach_credit_hooks`."""
+        if self.plan.credit_loss_rate > 0.0:
+            self._install_credit_hooks()
+
+    def _walk_counters(self) -> List[Tuple[Tuple[int, ...], CreditCounter]]:
+        """(address, counter) pairs over the router's credit tree.
+
+        Addresses are the stable (i, j[, vc]) coordinates; the tree is
+        walked in deterministic index order, so the same address names
+        the same logical buffer before and after a restore replaces the
+        counter objects.
+        """
         root = getattr(self.router, "_credits", None)
         if root is None:
             root = getattr(self.router, "_in_credits", None)
-        if root is None:
-            return
+        found: List[Tuple[Tuple[int, ...], CreditCounter]] = []
 
         def walk(node, prefix: Tuple[int, ...]) -> None:
             if isinstance(node, CreditCounter):
-                self._counter_where[id(node)] = prefix
+                found.append((prefix, node))
                 return
             for idx, child in enumerate(node):
                 walk(child, prefix + (idx,))
 
-        walk(root, ())
+        if root is not None:
+            walk(root, ())
+        return found
+
+    def _map_counters(self) -> None:
+        """Label credit counters by their stable (i, j[, vc]) address,
+        so dropped-credit events can name a location (the runtime keys
+        are object ids, but the emitted labels are the addresses)."""
+        self._counter_where = {
+            id(counter): where for where, counter in self._walk_counters()
+        }
 
     def _build_schedule(self) -> List[Tuple[int, int, str, object]]:
         events: List[Tuple[int, int, str, object]] = []
@@ -304,6 +364,59 @@ class SwitchFaultInjector:
         return [sink for _, sink in self._lost]
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable capture of the injector's mutable state.
+
+        Held resync sinks (bound counter methods) are encoded by the
+        owning counter's stable address plus the method name, so the
+        capture carries no live object references; :meth:`restore`
+        re-resolves them against the (by then restored) router.
+        """
+        lost = []
+        for due, sink in self._lost:
+            where = self._counter_where.get(id(sink.__self__))
+            if where is None:
+                raise RuntimeError(
+                    "cannot checkpoint a resync sink whose counter has "
+                    "no stable address"
+                )
+            lost.append((due, where, sink.__func__.__name__))
+        return {
+            "now": self._now,
+            "next_event": self._next_event,
+            "credit_rng": self._credit_rng.getstate(),
+            "lost": lost,
+            "channels": (
+                None if self._channels is None else self._channels.snapshot()
+            ),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Apply a :meth:`snapshot` capture; call *after* the router's
+        own state has been restored (sink resolution and hook taps run
+        against the live counter tree)."""
+        self._now = state["now"]
+        self._next_event = state["next_event"]
+        self._credit_rng.setstate(state["credit_rng"])
+        if self._channels is not None:
+            self._channels.restore(state["channels"])
+            # The router restore replaced its stats object; counters
+            # must land on the live one.
+            self._channels.rebind_bump(self.router.stats.bump)
+        if self.plan.credit_loss_rate > 0.0:
+            # The restore may have replaced pipes and counters: re-tap
+            # the credit wires and re-index the counter addresses.
+            self._install_credit_hooks()
+        by_address = dict(self._walk_counters())
+        self._lost = deque(
+            (due, getattr(by_address[tuple(where)], method))
+            for due, where, method in state["lost"]
+        )
+
+    # ------------------------------------------------------------------
     # Stuck buffers
     # ------------------------------------------------------------------
 
@@ -358,6 +471,10 @@ class NetworkFaultInjector:
     re-rolls of the oblivious route otherwise), counting reroutes and
     give-ups.  Counters land in the run result as ``stats.faults.*``.
     """
+
+    #: Wiring and the pre-validated link schedule, rebuilt from the plan
+    #: at construction rather than captured by :meth:`snapshot`.
+    SNAPSHOT_WIRING = ("plan", "sim", "hooks", "_schedule")
 
     def __init__(self, plan: FaultPlan, sim, seed: int) -> None:
         if not plan.enabled:
@@ -480,11 +597,20 @@ class NetworkFaultInjector:
     # Credit loss (consulted from NetworkRouter.commit)
     # ------------------------------------------------------------------
 
-    def drop_credit(self, router, sink: Callable[[int], None], vc: int,
-                    cycle: int) -> bool:
+    def _decide_drop(self, router) -> bool:
+        """One loss decision on ``router``'s private credit stream.
+
+        Split from the bookkeeping so the sharded engine can pre-draw
+        decisions for credits that mature on a later cycle (the stream
+        is per-router, so consuming it ahead of the commit that acts on
+        the decision preserves the serial draw order).
+        """
         rng = self._credit_rngs.get(router.name)
-        if rng is None or rng.random() >= self.plan.credit_loss_rate:
-            return False
+        return rng is not None and rng.random() < self.plan.credit_loss_rate
+
+    def record_drop(self, router, sink: Callable[[int], None], vc: int,
+                    cycle: int) -> None:
+        """Book a dropped credit: queue its resync, count it, emit."""
         self._lost.append(
             (cycle + self.plan.credit_resync_timeout, sink, vc)
         )
@@ -493,11 +619,78 @@ class NetworkFaultInjector:
             self.hooks.emit_fault_inject(
                 CREDIT_LOSS, (router.name, vc), cycle
             )
+
+    def drop_credit(self, router, sink: Callable[[int], None], vc: int,
+                    cycle: int) -> bool:
+        if not self._decide_drop(router):
+            return False
+        self.record_drop(router, sink, vc, cycle)
         return True
 
     def pending_credits(self) -> List[Tuple[Callable[[int], None], int]]:
         """(sink, vc) pairs held for resync (conservation accounting)."""
         return [(sink, vc) for _, sink, vc in self._lost]
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def _sink_addresses(self) -> Dict[int, Tuple[object, int]]:
+        """id(credit sink) -> (switch id, port) over the live network."""
+        where: Dict[int, Tuple[object, int]] = {}
+        for sid, router in self.sim.routers.items():
+            for port, sink in enumerate(router.credit_sinks):
+                if sink is not None:
+                    where[id(sink)] = (sid, port)
+        return where
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable capture of the injector's mutable state.
+
+        Held resync sinks are encoded as the (switch, port) coordinates
+        of the credit-sink slot they occupy; :meth:`restore` resolves
+        the coordinates back to the live sink objects.
+        """
+        where = self._sink_addresses()
+        lost = []
+        for due, sink, vc in self._lost:
+            address = where.get(id(sink))
+            if address is None:
+                raise RuntimeError(
+                    "cannot checkpoint a resync sink that is not a "
+                    "registered credit sink"
+                )
+            lost.append((due, address, vc))
+        return {
+            "counters": dict(self.counters),
+            "dead_links": sorted(self.dead_links),
+            "next_event": self._next_event,
+            "lost": lost,
+            "credit_rngs": {
+                name: rng.getstate()
+                for name, rng in sorted(self._credit_rngs.items())
+            },
+            "channels": (
+                None if self._channels is None else self._channels.snapshot()
+            ),
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Apply a :meth:`snapshot` capture (routers restored first)."""
+        self.counters = dict(state["counters"])
+        self.dead_links = {
+            (sid, port) for sid, port in state["dead_links"]
+        }
+        self._next_event = state["next_event"]
+        for name, rng_state in state["credit_rngs"].items():
+            self._credit_rngs[name].setstate(rng_state)
+        if self._channels is not None:
+            self._channels.restore(state["channels"])
+        routers = self.sim.routers
+        self._lost = deque(
+            (due, routers[sid].credit_sinks[port], vc)
+            for due, (sid, port), vc in state["lost"]
+        )
 
     # ------------------------------------------------------------------
     # Dead-link-aware routing

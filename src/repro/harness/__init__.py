@@ -1,5 +1,6 @@
 """Measurement harness: Section 4.3 methodology, sweeps, reporting."""
 
+from .checkpoint import CHECKPOINT_FORMAT, load_checkpoint, save_checkpoint
 from .experiment import (
     SweepResult,
     SweepSettings,
@@ -9,7 +10,7 @@ from .experiment import (
     saturation_throughput,
 )
 from .metrics import Histogram, MetricsCollector
-from .parallel import run_load_sweep_parallel
+from .parallel import run_load_sweep_parallel, run_network_sweep_parallel
 from .persistence import load_metadata, load_sweeps, save_sweeps
 from .plot import ascii_plot, plot_sweeps
 from .report import format_saturation, format_sweeps, format_table
@@ -17,11 +18,15 @@ from .stats import LatencySample, RunResult, summarize
 from .validation import CheckedRouter, InvariantViolation
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
+    "load_checkpoint",
+    "save_checkpoint",
     "SwitchSimulation",
     "SweepSettings",
     "SweepResult",
     "run_load_sweep",
     "run_load_sweep_parallel",
+    "run_network_sweep_parallel",
     "saturation_throughput",
     "find_saturation_load",
     "LatencySample",

@@ -11,11 +11,13 @@ generation (so source queueing counts) to tail-flit ejection.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.config import RouterConfig
 from ..core.errors import invariant
+from ..core.flit import packet_id_state, set_packet_id_state
 from ..engine import make_scheduler
 from ..routers.base import Router
 from ..traffic.injection import Bernoulli, InjectionProcess, MarkovOnOff
@@ -57,6 +59,17 @@ class SweepSettings:
 class SwitchSimulation:
     """Drives one router instance with per-input traffic sources."""
 
+    #: Attributes :meth:`snapshot` deliberately omits (lint rule R010):
+    #: construction parameters (``config``/``load``/``packet_size`` and
+    #: the build spec, which the checkpoint file header carries
+    #: instead), live wiring (``hooks``, the engine's injector handle),
+    #: and the ``record_delivered`` flag, all of which a restored twin
+    #: gets from its own constructor.
+    SNAPSHOT_WIRING = (
+        "_build_spec", "hooks", "config", "load", "packet_size",
+        "fault_injector", "record_delivered",
+    )
+
     def __init__(
         self,
         router: Router,
@@ -96,6 +109,18 @@ class SwitchSimulation:
         :meth:`run_workload` instead of :meth:`run`."""
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
+        #: Constructor arguments a checkpoint file needs to rebuild an
+        #: equivalent simulation (see :mod:`repro.harness.checkpoint`);
+        #: everything else is recoverable from the built object.
+        self._build_spec: Dict[str, Any] = {
+            "load": load,
+            "packet_size": packet_size,
+            "pattern": pattern,
+            "injection": injection,
+            "avg_burst": avg_burst,
+            "seed": seed,
+            "record_delivered": record_delivered,
+        }
         if sanitize:
             # Imported lazily: the analysis layer sits above the harness.
             from ..analysis.sanitizer import SimSanitizer
@@ -186,6 +211,10 @@ class SwitchSimulation:
         #: is retained here for inspection (costs memory on long runs).
         self.record_delivered = record_delivered
         self.delivered: List[tuple] = []
+        #: In-progress measurement program (see :meth:`start_run`), or
+        #: None when no staged run is active.  Plain picklable data so
+        #: a checkpoint taken mid-run resumes at the same stage.
+        self._program: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
 
@@ -337,38 +366,177 @@ class SwitchSimulation:
         happen between calls, exactly where the per-cycle loop
         flipped them.
         """
+        self.start_run(settings)
+        self.advance_run()
+        return self.finish_run()
+
+    # ------------------------------------------------------------------
+    # Staged measurement program (checkpointable run)
+    # ------------------------------------------------------------------
+
+    def start_run(self, settings: Optional[SweepSettings] = None) -> None:
+        """Begin the warm-up/measure/drain program without running it.
+
+        The program is plain data (absolute stage boundaries plus
+        bookkeeping), so a snapshot taken between :meth:`advance_run`
+        calls resumes mid-run byte-identically.
+        """
+        if self._program is not None:
+            raise RuntimeError("a run is already in progress")
         settings = settings or SweepSettings()
-        sched = self._sched
-        sched.run_until(self.cycle + settings.warmup)
-        self._measuring = True
+        start = self.cycle
+        warm_end = start + settings.warmup
+        measure_end = warm_end + settings.measure
+        self._program = {
+            "kind": "measure",
+            "stage": 0,
+            "final": 3,
+            "bounds": [warm_end, measure_end, measure_end + settings.drain],
+            "measure_start": 0,
+            "measured_cycles": 0,
+            "min_drain_fraction": settings.min_drain_fraction,
+        }
+
+    def start_workload_run(self, max_cycles: int = 1_000_000) -> None:
+        """Begin the workload-DAG program without running it."""
+        if self._program is not None:
+            raise RuntimeError("a run is already in progress")
+        if self._workload is None:
+            raise ValueError(
+                "run_workload() needs a SwitchSimulation(workload=...)"
+            )
+        if max_cycles < 1:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
         self._count_flits = True
-        measure_start = self.cycle
-        sched.run_until(self.cycle + settings.measure)
-        self._measuring = False
-        measured_cycles = self.cycle - measure_start
-        self._count_flits = False
-        sched.run_until(
-            self.cycle + settings.drain,
-            stop=lambda: self._labeled_outstanding <= 0,
+        self._program = {
+            "kind": "workload",
+            "stage": 0,
+            "final": 1,
+            "bounds": [self.cycle + max_cycles],
+            "run_start": self.cycle,
+        }
+
+    def advance_run(self, stop_at: Optional[int] = None) -> bool:
+        """Advance the active program; True once it has completed.
+
+        With ``stop_at`` set, pauses at the first *executed* cycle at
+        or beyond it (fast-forward jumps land on their natural targets
+        first, so pausing never perturbs the jump structure and the
+        resumed run stays byte-identical to an uninterrupted one).
+        """
+        program = self._program
+        if program is None:
+            raise RuntimeError("no run in progress; call start_run() first")
+        paused = (
+            None if stop_at is None
+            else (lambda: self._sched.now >= stop_at)
         )
+        while program["stage"] < program["final"]:
+            stage = program["stage"]
+            end = program["bounds"][stage]
+            stop = self._stage_stop(program, stage, paused)
+            self._sched.run_until(end, stop=stop)
+            if self._stage_done(program, stage, end):
+                self._finish_stage(program, stage)
+            else:
+                return False  # paused mid-stage
+        return True
+
+    def _stage_stop(
+        self,
+        program: Dict[str, Any],
+        stage: int,
+        paused: Optional[Callable[[], bool]],
+    ) -> Optional[Callable[[], bool]]:
+        """Combined stop predicate for one program stage."""
+        inner = self._stage_predicate(program, stage)
+        if inner is None:
+            return paused
+        if paused is None:
+            return inner
+        return lambda: paused() or inner()
+
+    def _stage_predicate(
+        self, program: Dict[str, Any], stage: int
+    ) -> Optional[Callable[[], bool]]:
+        if program["kind"] == "workload":
+            return self._workload.done
+        if stage == 2:  # drain
+            return lambda: self._labeled_outstanding <= 0
+        return None
+
+    def _stage_done(
+        self, program: Dict[str, Any], stage: int, end: int
+    ) -> bool:
+        """Did the stage complete (vs. pausing for a checkpoint)?"""
+        if self._sched.now >= end:
+            return True
+        inner = self._stage_predicate(program, stage)
+        return inner is not None and inner()
+
+    def _finish_stage(self, program: Dict[str, Any], stage: int) -> None:
+        """Apply the flag flips at a completed stage boundary."""
+        program["stage"] = stage + 1
+        if program["kind"] != "measure":
+            return
+        if stage == 0:  # warm-up done: start labeling
+            self._measuring = True
+            self._count_flits = True
+            program["measure_start"] = self.cycle
+        elif stage == 1:  # measurement window closed
+            self._measuring = False
+            self._count_flits = False
+            program["measured_cycles"] = (
+                self.cycle - program["measure_start"]
+            )
+
+    def finish_run(self) -> RunResult:
+        """Summarize a completed program into a :class:`RunResult`."""
+        program = self._program
+        if program is None:
+            raise RuntimeError("no run in progress")
+        if program["stage"] < program["final"]:
+            raise RuntimeError("run has not completed; advance_run() first")
+        self._program = None
+        if program["kind"] == "workload":
+            return self._finish_workload(program)
         undelivered = self._labeled_outstanding
         delivered_fraction = (
             1.0
             if self._labeled_total == 0
             else 1.0 - undelivered / self._labeled_total
         )
-        saturated = delivered_fraction < settings.min_drain_fraction
+        saturated = delivered_fraction < program["min_drain_fraction"]
         result = summarize(
             offered_load=self.load,
             sample=self.sample,
             measured_flits=self.measured_flits,
-            measured_cycles=measured_cycles,
+            measured_cycles=program["measured_cycles"],
             num_ports=self.config.radix,
             capacity=self.config.capacity_flits_per_cycle,
             saturated=saturated,
             cycles=self.cycle,
         )
         result.extra["undelivered"] = float(undelivered)
+        self._fold_extras(result)
+        return result
+
+    def _finish_workload(self, program: Dict[str, Any]) -> RunResult:
+        workload = self._workload
+        self._count_flits = False
+        for latency in workload.message_latencies():
+            self.sample.add(latency)
+        result = summarize(
+            offered_load=0.0,
+            sample=self.sample,
+            measured_flits=self.measured_flits,
+            measured_cycles=max(1, self.cycle - program["run_start"]),
+            num_ports=self.config.radix,
+            capacity=self.config.capacity_flits_per_cycle,
+            saturated=not workload.done(),
+            cycles=self.cycle,
+        )
+        result.extra["undelivered"] = float(workload.remaining)
         self._fold_extras(result)
         return result
 
@@ -414,32 +582,125 @@ class SwitchSimulation:
         percentiles, per-phase step time and skew, makespan) land in
         the ``stats.workload.*`` extras.
         """
-        workload = self._workload
-        if workload is None:
+        self.start_workload_run(max_cycles)
+        self.advance_run()
+        return self.finish_run()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable capture of the whole simulation at a cycle boundary.
+
+        Every coupled piece — router, scheduler, sources, sample,
+        injector, tracer, the staged-run program, and the global
+        packet-id stream — is collected as live references and
+        deep-copied in one pass, so aliasing (e.g. the workload shared
+        by every source) survives into the capture.  Restore onto a
+        simulation constructed with identical parameters.
+        """
+        if self.router is not self._engine:
             raise ValueError(
-                "run_workload() needs a SwitchSimulation(workload=...)"
+                "cannot checkpoint a sanitized simulation; rerun the "
+                "sanitizer after restore instead"
             )
-        if max_cycles < 1:
-            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
-        self._count_flits = True
-        start = self.cycle
-        self._sched.run_until(start + max_cycles, stop=workload.done)
-        self._count_flits = False
-        for latency in workload.message_latencies():
-            self.sample.add(latency)
-        result = summarize(
-            offered_load=0.0,
-            sample=self.sample,
-            measured_flits=self.measured_flits,
-            measured_cycles=max(1, self.cycle - start),
-            num_ports=self.config.radix,
-            capacity=self.config.capacity_flits_per_cycle,
-            saturated=not workload.done(),
-            cycles=self.cycle,
-        )
-        result.extra["undelivered"] = float(workload.remaining)
-        self._fold_extras(result)
-        return result
+        faults = self._faults
+        if faults is not None:
+            # Keep the captured credit pipes free of injector taps (the
+            # tap would drag the hook bus, and through it the whole
+            # simulation, into the copied graph).
+            faults.detach_credit_hooks()
+        try:
+            bundle = {
+                "engine": self._engine._snapshot_state(),
+                "sched": self._sched.snapshot(),
+                "packet_ids": packet_id_state(),
+                "program": self._program,
+                "workload": self._workload,
+                "sources": [vars(src) for src in self.sources],
+                "harness": {
+                    "next_inject": self._next_inject,
+                    "packet_vc": self._packet_vc,
+                    "vc_rr": self._vc_rr,
+                    "measuring": self._measuring,
+                    "generating": self._generating,
+                    "labeled_outstanding": self._labeled_outstanding,
+                    "labeled_total": self._labeled_total,
+                    "sample": self.sample,
+                    "measured_flits": self.measured_flits,
+                    "count_flits": self._count_flits,
+                    "delivered": self.delivered,
+                },
+                "faults": None if faults is None else faults.snapshot(),
+                "tracer": (
+                    None if self._tracer is None
+                    else dict(vars(self._tracer))
+                ),
+            }
+            return copy.deepcopy(bundle)
+        finally:
+            if faults is not None:
+                faults.attach_credit_hooks()
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Apply a :meth:`snapshot` capture onto this simulation.
+
+        The simulation must have been constructed with the same
+        parameters as the one captured (router organization, load,
+        pattern, seed, fault plan, tracer, scheduler mode); only
+        mutable state is replaced, in place, so scheduler registration
+        and hook subscriptions stay wired.
+        """
+        if self.router is not self._engine:
+            raise ValueError("cannot restore onto a sanitized simulation")
+        if (state["faults"] is None) != (self._faults is None):
+            raise ValueError(
+                "fault plan mismatch between snapshot and simulation"
+            )
+        if (state["tracer"] is None) != (self._tracer is None):
+            raise ValueError(
+                "tracer mismatch between snapshot and simulation"
+            )
+        if len(state["sources"]) != len(self.sources):
+            raise ValueError(
+                f"snapshot captured {len(state['sources'])} sources, "
+                f"simulation has {len(self.sources)}"
+            )
+        state = copy.deepcopy(state)
+        self._engine._restore_state(state["engine"])
+        self._sched.restore(state["sched"])
+        set_packet_id_state(state["packet_ids"])
+        self._program = state["program"]
+        self._workload = state["workload"]
+        for src, src_state in zip(self.sources, state["sources"]):
+            vars(src).update(src_state)
+        harness = state["harness"]
+        self._next_inject = harness["next_inject"]
+        self._packet_vc = harness["packet_vc"]
+        self._vc_rr = harness["vc_rr"]
+        self._measuring = harness["measuring"]
+        self._generating = harness["generating"]
+        self._labeled_outstanding = harness["labeled_outstanding"]
+        self._labeled_total = harness["labeled_total"]
+        self.sample = harness["sample"]
+        self.measured_flits = harness["measured_flits"]
+        self._count_flits = harness["count_flits"]
+        self.delivered = harness["delivered"]
+        if self._faults is not None:
+            self._faults.restore(state["faults"])
+        if self._tracer is not None:
+            vars(self._tracer).clear()
+            vars(self._tracer).update(state["tracer"])
+
+    def save_checkpoint(self, path) -> None:
+        """Persist this simulation (state plus rebuild spec) to disk.
+
+        Resume with :func:`repro.harness.checkpoint.load_checkpoint`.
+        """
+        from .checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
 
 
 # ----------------------------------------------------------------------

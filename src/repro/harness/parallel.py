@@ -63,6 +63,76 @@ def _run_point(args) -> RunResult:
     return sim.run(settings)
 
 
+def _run_network_point(args) -> RunResult:
+    """Worker: simulate one network load point (module-level so it
+    pickles under the spawn start method)."""
+    (config, load, topology, warmup, measure, drain, scheduler,
+     shards) = args
+    # Imported lazily: the harness is importable without the network
+    # stack and the child only pays for what it runs.
+    if shards is None:
+        from ..network.netsim import NetworkSimulation
+
+        sim = NetworkSimulation(config, load, topology=topology,
+                                scheduler=scheduler)
+        return sim.run(warmup=warmup, measure=measure, drain=drain)
+    from ..network.sharded import ShardedNetworkSimulation
+
+    sim = ShardedNetworkSimulation(config, load, shards=shards,
+                                   topology=topology, scheduler=scheduler)
+    try:
+        return sim.run(warmup=warmup, measure=measure, drain=drain)
+    finally:
+        sim.close()
+
+
+def run_network_sweep_parallel(
+    config,
+    loads: Sequence[float],
+    label: str = "",
+    topology=None,
+    warmup: int = 2000,
+    measure: int = 2000,
+    drain: int = 30000,
+    scheduler: str = "cycle",
+    processes: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> SweepResult:
+    """Parallel twin of :func:`repro.network.netsim.run_network_sweep`.
+
+    Two orthogonal levers: ``processes`` fans independent load points
+    over a process pool (point-level parallelism, like
+    :func:`run_load_sweep_parallel`); ``shards`` runs each point as a
+    :class:`~repro.network.sharded.ShardedNetworkSimulation` over that
+    many worker processes (cycle-level parallelism for big networks).
+    Results are byte-identical to the serial sweep either way — each
+    point re-derives every RNG stream from the seed, and sharding is
+    proven byte-identical by construction (see
+    ``docs/checkpoint_sharding.md``).
+
+    Args:
+        processes: Pool size; defaults to ``min(len(loads), cpu_count)``.
+            Must be >= 1 when given.  With ``processes=1`` the pool is
+            skipped entirely.
+        shards: When set, each point runs sharded across this many
+            worker processes.  Combining ``processes > 1`` with
+            ``shards`` multiplies process counts; prefer one lever.
+    """
+    if processes is not None and processes < 1:
+        raise ValueError(f"processes must be >= 1, got {processes}")
+    jobs = [
+        (config, load, topology, warmup, measure, drain, scheduler, shards)
+        for load in loads
+    ]
+    if processes == 1 or len(jobs) <= 1:
+        results = [_run_network_point(job) for job in jobs]
+    else:
+        workers = processes or min(len(jobs), multiprocessing.cpu_count())
+        with multiprocessing.Pool(workers) as pool:
+            results = pool.map(_run_network_point, jobs)
+    return SweepResult(label=label or "network", results=list(results))
+
+
 def run_load_sweep_parallel(
     make_router: RouterFactory,
     config: RouterConfig,

@@ -14,6 +14,7 @@ from .router import (
     OutputLink,
     pipeline_depth_for_radix,
 )
+from .sharded import ShardedNetworkSimulation
 from .topology import FoldedClos, PortRef, Topology
 
 __all__ = [
@@ -28,5 +29,6 @@ __all__ = [
     "NetworkConfig",
     "NetworkSimulation",
     "ClosNetworkSimulation",
+    "ShardedNetworkSimulation",
     "run_network_sweep",
 ]

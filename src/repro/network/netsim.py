@@ -11,13 +11,14 @@ warm-up / label / drain methodology as the switch-level harness.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.errors import invariant
-from ..core.flit import Flit, make_packet
+from ..core.flit import Flit, make_packet, packet_id_state, set_packet_id_state
 from ..core.rng import derive_rng
 from ..engine import EngineHooks, make_scheduler
 from ..harness.stats import LatencySample, RunResult, summarize
@@ -119,6 +120,17 @@ class _CreditSink:
 class NetworkSimulation:
     """End-to-end simulation of a network of routers on any topology."""
 
+    #: Attributes :meth:`snapshot` deliberately omits (lint rule R010):
+    #: construction parameters (``config``/``load``/``topology``/
+    #: ``_host_pattern``/``_event_mode``/``_trace_switch``), the hook
+    #: bus, ``_packet_rate`` (a pure function of config and load), and
+    #: the numpy arrival mirrors, which restore re-derives from the
+    #: restored Python RNG streams (see :meth:`snapshot`).
+    SNAPSHOT_WIRING = (
+        "config", "load", "topology", "_host_pattern", "hooks",
+        "_event_mode", "_trace_switch", "_packet_rate", "_np_streams",
+    )
+
     def __init__(
         self,
         config: NetworkConfig,
@@ -130,6 +142,8 @@ class NetworkSimulation:
         faults: Optional[object] = None,
         scheduler: str = "cycle",
         workload: Optional[Workload] = None,
+        tracer=None,
+        trace_switch: Optional[SwitchId] = None,
     ) -> None:
         """Args:
             config: Router/channel parameters (``radix``/``levels`` are
@@ -167,6 +181,13 @@ class NetworkSimulation:
                 message injects at its host only once its DAG
                 dependencies have been delivered.  Drive with
                 :meth:`run_workload` instead of :meth:`run`.
+            tracer: Optional :class:`~repro.trace.TraceCollector`
+                tracing the router named by ``trace_switch`` (per-flit
+                lifecycle records from that router, cycle counts and
+                fault events network-wide).  Aggregate trace counters
+                land in the run result's ``stats.trace.*`` extras.
+            trace_switch: Which switch the tracer follows; defaults to
+                the first switch in ``topology.switch_ids()`` order.
         """
         if not 0.0 <= load <= 1.0:
             raise ValueError(f"load must be in [0, 1], got {load}")
@@ -208,6 +229,18 @@ class NetworkSimulation:
         # (in event mode) its wake horizons.
         self._scheduler.add_pre_cycle(self._pre_cycle)
         self._scheduler.add_wake_source(self._next_work)
+        self._tracer = tracer
+        self._trace_switch: Optional[SwitchId] = None
+        if tracer is not None:
+            if trace_switch is None:
+                trace_switch = next(iter(self.routers))
+            if trace_switch not in self.routers:
+                raise ValueError(
+                    f"trace_switch {trace_switch!r} is not a switch of "
+                    f"this topology"
+                )
+            self._trace_switch = trace_switch
+            tracer.attach_network(self, trace_switch)
         n = self.topology.num_hosts
         cap = 1.0 / config.flit_cycles
         self._packet_rate = load * cap / config.packet_size
@@ -230,6 +263,9 @@ class NetworkSimulation:
         self._peak_source_q = 0
         self.sample = LatencySample()
         self.measured_flits = 0
+        #: Active staged run program (see :meth:`start_run`): plain
+        #: data, so a snapshot taken mid-run carries it along.
+        self._program: Optional[Dict[str, Any]] = None
         # Global in-flight flit event queue: (arrival, seq, flit, target).
         self._inflight: List[Tuple[int, int, Flit, object]] = []
         self._seq = itertools.count()
@@ -688,46 +724,9 @@ class NetworkSimulation:
     def run(
         self, warmup: int = 2000, measure: int = 2000, drain: int = 30000
     ) -> RunResult:
-        sched = self._scheduler
-        self.run_until(self.cycle + warmup)
-        self._measuring = True
-        self._count_flits = True
-        start = self.cycle
-        self.run_until(self.cycle + measure)
-        self._measuring = False
-        measured_cycles = self.cycle - start
-        self._count_flits = False
-        self._extend_draws(self.cycle + drain)
-        sched.run_until(self.cycle + drain,
-                        stop=lambda: self._outstanding <= 0)
-        frac = (
-            1.0
-            if self._labeled_total == 0
-            else 1.0 - self._outstanding / self._labeled_total
-        )
-        result = summarize(
-            offered_load=self.load,
-            sample=self.sample,
-            measured_flits=self.measured_flits,
-            measured_cycles=measured_cycles,
-            num_ports=self.topology.num_hosts,
-            capacity=1.0 / self.config.flit_cycles,
-            saturated=frac < 0.999,
-            cycles=self.cycle,
-        )
-        result.extra["stats.engine.cycles_skipped"] = float(
-            sched.cycles_skipped
-        )
-        result.extra["stats.engine.ff_jumps"] = float(sched.ff_jumps)
-        result.extra["stats.traffic.max_source_queue"] = float(
-            self._peak_source_q
-        )
-        if self._faults is not None:
-            for name in sorted(self._faults.counters):
-                result.extra[f"stats.{name}"] = float(
-                    self._faults.counters[name]
-                )
-        return result
+        self.start_run(warmup=warmup, measure=measure, drain=drain)
+        self.advance_run()
+        return self.finish_run()
 
     def run_workload(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run the attached workload DAG to completion; summarize.
@@ -740,17 +739,155 @@ class NetworkSimulation:
         percentiles, per-phase step time and skew) land in the
         ``stats.workload.*`` extras.
         """
-        workload = self._workload
-        if workload is None:
+        self.start_workload_run(max_cycles)
+        self.advance_run()
+        return self.finish_run()
+
+    def start_run(
+        self, warmup: int = 2000, measure: int = 2000, drain: int = 30000
+    ) -> None:
+        """Begin the warm-up/measure/drain program without running it.
+
+        The program is plain data (absolute stage boundaries plus
+        bookkeeping), so a snapshot taken between :meth:`advance_run`
+        calls resumes mid-run byte-identically.
+        """
+        if self._program is not None:
+            raise RuntimeError("a run is already in progress")
+        start = self.cycle
+        warm_end = start + warmup
+        measure_end = warm_end + measure
+        self._program = {
+            "kind": "measure",
+            "stage": 0,
+            "final": 3,
+            "bounds": [warm_end, measure_end, measure_end + drain],
+            "measure_start": 0,
+            "measured_cycles": 0,
+        }
+
+    def start_workload_run(self, max_cycles: int = 1_000_000) -> None:
+        """Begin the workload-DAG program without running it."""
+        if self._program is not None:
+            raise RuntimeError("a run is already in progress")
+        if self._workload is None:
             raise ValueError(
                 "run_workload() needs a NetworkSimulation(workload=...)"
             )
         if max_cycles < 1:
             raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
-        sched = self._scheduler
         self._count_flits = True
-        start = self.cycle
-        sched.run_until(start + max_cycles, stop=workload.done)
+        self._program = {
+            "kind": "workload",
+            "stage": 0,
+            "final": 1,
+            "bounds": [self.cycle + max_cycles],
+            "run_start": self.cycle,
+        }
+
+    def advance_run(self, stop_at: Optional[int] = None) -> bool:
+        """Advance the active program; True once it has completed.
+
+        With ``stop_at`` set, pauses at the first *executed* cycle at
+        or beyond it (fast-forward jumps land on their natural targets
+        first, so pausing never perturbs the jump structure and the
+        resumed run stays byte-identical to an uninterrupted one).
+        """
+        program = self._program
+        if program is None:
+            raise RuntimeError("no run in progress; call start_run() first")
+        paused = (
+            None if stop_at is None
+            else (lambda: self._scheduler.now >= stop_at)
+        )
+        while program["stage"] < program["final"]:
+            stage = program["stage"]
+            end = program["bounds"][stage]
+            stop = self._stage_stop(program, stage, paused)
+            self._extend_draws(end)
+            self._scheduler.run_until(end, stop=stop)
+            if self._stage_done(program, stage, end):
+                self._finish_stage(program, stage)
+            else:
+                return False  # paused mid-stage
+        return True
+
+    def _stage_stop(
+        self,
+        program: Dict[str, Any],
+        stage: int,
+        paused: Optional[Callable[[], bool]],
+    ) -> Optional[Callable[[], bool]]:
+        """Combined stop predicate for one program stage."""
+        inner = self._stage_predicate(program, stage)
+        if inner is None:
+            return paused
+        if paused is None:
+            return inner
+        return lambda: paused() or inner()
+
+    def _stage_predicate(
+        self, program: Dict[str, Any], stage: int
+    ) -> Optional[Callable[[], bool]]:
+        if program["kind"] == "workload":
+            return self._workload.done
+        if stage == 2:  # drain
+            return lambda: self._outstanding <= 0
+        return None
+
+    def _stage_done(
+        self, program: Dict[str, Any], stage: int, end: int
+    ) -> bool:
+        """Did the stage complete (vs. pausing for a checkpoint)?"""
+        if self._scheduler.now >= end:
+            return True
+        inner = self._stage_predicate(program, stage)
+        return inner is not None and inner()
+
+    def _finish_stage(self, program: Dict[str, Any], stage: int) -> None:
+        """Apply the flag flips at a completed stage boundary."""
+        program["stage"] = stage + 1
+        if program["kind"] != "measure":
+            return
+        if stage == 0:  # warm-up done: start labeling
+            self._measuring = True
+            self._count_flits = True
+            program["measure_start"] = self.cycle
+        elif stage == 1:  # measurement done
+            self._measuring = False
+            self._count_flits = False
+            program["measured_cycles"] = self.cycle - program["measure_start"]
+
+    def finish_run(self) -> RunResult:
+        """Summarize a completed program into a :class:`RunResult`."""
+        program = self._program
+        if program is None:
+            raise RuntimeError("no run in progress")
+        if program["stage"] < program["final"]:
+            raise RuntimeError("run has not completed; advance_run() first")
+        self._program = None
+        if program["kind"] == "workload":
+            return self._finish_workload(program)
+        frac = (
+            1.0
+            if self._labeled_total == 0
+            else 1.0 - self._outstanding / self._labeled_total
+        )
+        result = summarize(
+            offered_load=self.load,
+            sample=self.sample,
+            measured_flits=self.measured_flits,
+            measured_cycles=program["measured_cycles"],
+            num_ports=self.topology.num_hosts,
+            capacity=1.0 / self.config.flit_cycles,
+            saturated=frac < 0.999,
+            cycles=self.cycle,
+        )
+        self._fold_extras(result)
+        return result
+
+    def _finish_workload(self, program: Dict[str, Any]) -> RunResult:
+        workload = self._workload
         self._count_flits = False
         for latency in workload.message_latencies():
             self.sample.add(latency)
@@ -758,7 +895,7 @@ class NetworkSimulation:
             offered_load=0.0,
             sample=self.sample,
             measured_flits=self.measured_flits,
-            measured_cycles=max(1, self.cycle - start),
+            measured_cycles=max(1, self.cycle - program["run_start"]),
             num_ports=self.topology.num_hosts,
             capacity=1.0 / self.config.flit_cycles,
             saturated=not workload.done(),
@@ -768,21 +905,227 @@ class NetworkSimulation:
         result.extra["source_backlog"] = float(
             sum(len(q) for q in self._source_q)
         )
+        self._fold_extras(result, workload_stats=True)
+        return result
+
+    def _fold_extras(
+        self, result: RunResult, workload_stats: bool = False
+    ) -> None:
+        """Fold shared observability extras into a run result."""
         result.extra["stats.engine.cycles_skipped"] = float(
-            sched.cycles_skipped
+            self._engine_skips()[0]
         )
-        result.extra["stats.engine.ff_jumps"] = float(sched.ff_jumps)
+        result.extra["stats.engine.ff_jumps"] = float(self._engine_skips()[1])
         result.extra["stats.traffic.max_source_queue"] = float(
             self._peak_source_q
         )
-        for name, value in sorted(workload.stats().items()):
+        if workload_stats:
+            for name, value in sorted(self._workload.stats().items()):
+                result.extra[f"stats.{name}"] = float(value)
+        for name, value in self._fault_extra():
             result.extra[f"stats.{name}"] = float(value)
+        if self._tracer is not None:
+            # Aggregate trace counters ride along like the switch-level
+            # harness does: folded through a scratch RouterStats so the
+            # collector's integer-counter convention applies unchanged.
+            from ..routers.base import RouterStats
+
+            scratch = RouterStats()
+            if self._workload is not None:
+                self._workload.annotate(self._tracer)
+            self._tracer.fold_stats(scratch)
+            for name in sorted(scratch.extra):
+                result.extra[f"stats.{name}"] = float(scratch.extra[name])
+
+    def _engine_skips(self) -> Tuple[int, int]:
+        """(cycles_skipped, ff_jumps) of the drive loop (overridable)."""
+        return (self._scheduler.cycles_skipped, self._scheduler.ff_jumps)
+
+    def _fault_extra(self) -> List[Tuple[str, object]]:
+        """Sorted fault-counter items; the sharded front-end overrides
+        this to merge the per-worker counter dictionaries."""
+        if self._faults is None:
+            return []
+        return sorted(self._faults.counters.items())
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deep-copied picklable capture of the full simulation state.
+
+        Captures the routers, the drive loop, every RNG stream, the
+        in-flight flit queue, the host-side injection machinery, the
+        staged run program, the workload, the fault injector, and the
+        trace collector.  Restoring the capture onto a freshly built
+        twin (same constructor arguments) resumes byte-identically;
+        see :mod:`repro.harness.checkpoint` for the on-disk format.
+        """
+        if self._sanitizer is not None:
+            raise ValueError(
+                "cannot checkpoint a sanitized simulation; rerun the "
+                "sanitizer after restore instead"
+            )
+        switch_of = {id(r): sid for sid, r in self.routers.items()}
+        inflight = []
+        for arrival, seq, flit, target in sorted(
+            self._inflight, key=lambda entry: entry[:2]
+        ):
+            if isinstance(target, tuple):
+                router, port = target
+                encoded: Tuple = ("r", switch_of[id(router)], port)
+            else:
+                encoded = ("h", target)
+            inflight.append((arrival, seq, flit, encoded))
+        bundle: Dict[str, Any] = {
+            "routers": [
+                router._snapshot_state() for router in self.routers.values()
+            ],
+            "sched": self._scheduler.snapshot(),
+            "packet_ids": packet_id_state(),
+            "seq": next(copy.copy(self._seq)),
+            "inflight": inflight,
+            "harness": {
+                "source_q": self._source_q,
+                "backlog_hosts": sorted(self._backlog_hosts),
+                "next_inject": self._next_inject,
+                "packet_vc": self._packet_vc,
+                "vc_rr": self._vc_rr,
+                "measuring": self._measuring,
+                "count_flits": self._count_flits,
+                "outstanding": self._outstanding,
+                "labeled_total": self._labeled_total,
+                "peak_source_q": self._peak_source_q,
+                "sample": self.sample,
+                "measured_flits": self.measured_flits,
+            },
+            "rngs": [rng.getstate() for rng in self._rngs],
+            "route_rng": self._route_rng.getstate(),
+            # The numpy mirrors are deliberately not captured: at a
+            # cycle boundary each mirror equals the Python stream plus
+            # (arrival_cursor - sync_cursor) poll draws, so restore
+            # rebuilds them from the restored Python state instead.
+            "arrivals": {
+                "heap": sorted(self._host_arrivals),
+                "cursor": self._arrival_cursor,
+                "draw_limit": self._draw_limit,
+                "undrawn": sorted(self._undrawn),
+                "sync_cursor": self._sync_cursor,
+            },
+            "program": self._program,
+            "workload": self._workload,
+            "faults": (
+                None if self._faults is None else self._faults.snapshot()
+            ),
+            "tracer": (
+                None if self._tracer is None else dict(vars(self._tracer))
+            ),
+        }
+        return copy.deepcopy(bundle)
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Apply a :meth:`snapshot` onto this simulation in place.
+
+        The simulation must have been built with the same constructor
+        arguments as the one the snapshot came from (same topology,
+        scheduler mode, fault plan, workload and tracer presence).
+        """
+        if self._sanitizer is not None:
+            raise ValueError("cannot restore onto a sanitized simulation")
+        if len(state["routers"]) != len(self.routers):
+            raise ValueError(
+                f"snapshot captured {len(state['routers'])} routers, "
+                f"simulation has {len(self.routers)}"
+            )
+        if ("wheel" in state["sched"]) != self._event_mode:
+            raise ValueError(
+                "scheduler mode mismatch between snapshot and simulation"
+            )
+        if (state["faults"] is None) != (self._faults is None):
+            raise ValueError(
+                "fault plan mismatch between snapshot and simulation"
+            )
+        if (state["workload"] is None) != (self._workload is None):
+            raise ValueError(
+                "workload mismatch between snapshot and simulation"
+            )
+        if (state["tracer"] is None) != (self._tracer is None):
+            raise ValueError(
+                "tracer mismatch between snapshot and simulation"
+            )
+        if len(state["rngs"]) != len(self._rngs):
+            raise ValueError(
+                f"snapshot captured {len(state['rngs'])} hosts, "
+                f"simulation has {len(self._rngs)}"
+            )
+        state = copy.deepcopy(state)
+        for router, captured in zip(self.routers.values(), state["routers"]):
+            router._restore_state(captured)
+        self._scheduler.restore(state["sched"])
+        set_packet_id_state(state["packet_ids"])
+        self._seq = itertools.count(state["seq"])
+        inflight: List[Tuple[int, int, Flit, object]] = []
+        for arrival, seq, flit, encoded in state["inflight"]:
+            if encoded[0] == "r":
+                target: object = (self.routers[encoded[1]], encoded[2])
+            else:
+                target = encoded[1]
+            inflight.append((arrival, seq, flit, target))
+        # Captured sorted; a sorted list is a valid binary heap.
+        self._inflight = inflight
+        harness = state["harness"]
+        self._source_q = harness["source_q"]
+        self._backlog_hosts = set(harness["backlog_hosts"])
+        self._next_inject = harness["next_inject"]
+        self._packet_vc = harness["packet_vc"]
+        self._vc_rr = harness["vc_rr"]
+        self._measuring = harness["measuring"]
+        self._count_flits = harness["count_flits"]
+        self._outstanding = harness["outstanding"]
+        self._labeled_total = harness["labeled_total"]
+        self._peak_source_q = harness["peak_source_q"]
+        self.sample = harness["sample"]
+        self.measured_flits = harness["measured_flits"]
+        for rng, captured in zip(self._rngs, state["rngs"]):
+            rng.setstate(captured)
+        self._route_rng.setstate(state["route_rng"])
+        arrivals = state["arrivals"]
+        self._host_arrivals = list(arrivals["heap"])
+        self._arrival_cursor = arrivals["cursor"]
+        self._draw_limit = arrivals["draw_limit"]
+        self._undrawn = set(arrivals["undrawn"])
+        self._sync_cursor = arrivals["sync_cursor"]
+        if self._np_streams is not None:
+            # Rebuild each mirror from the restored Python state (the
+            # last sync point) and replay the poll draws separating it
+            # from the pre-draw cursor; snapshots are taken at cycle
+            # boundaries, where that gap is pure polls (every hit and
+            # every destination draw forces a sync).
+            for host in range(len(self._rngs)):
+                stream = self._mirror_stream(host)
+                gap = self._arrival_cursor[host] - self._sync_cursor[host]
+                if gap:
+                    stream.random_sample(gap)
+                self._np_streams[host] = stream
+        self._program = state["program"]
+        self._workload = state["workload"]
         if self._faults is not None:
-            for name in sorted(self._faults.counters):
-                result.extra[f"stats.{name}"] = float(
-                    self._faults.counters[name]
-                )
-        return result
+            # After the routers: lost-credit sinks resolve through the
+            # (identity-preserved) credit_sinks wiring.
+            self._faults.restore(state["faults"])
+        if self._tracer is not None:
+            vars(self._tracer).clear()
+            vars(self._tracer).update(state["tracer"])
+
+    def save_checkpoint(self, path) -> None:
+        """Persist this simulation (state plus rebuild spec) to disk.
+
+        Resume with :func:`repro.harness.checkpoint.load_checkpoint`.
+        """
+        from ..harness.checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
 
 
 class ClosNetworkSimulation(NetworkSimulation):
@@ -797,10 +1140,13 @@ class ClosNetworkSimulation(NetworkSimulation):
         faults: Optional[object] = None,
         scheduler: str = "cycle",
         workload: Optional[Workload] = None,
+        tracer=None,
+        trace_switch: Optional[SwitchId] = None,
     ) -> None:
         super().__init__(config, load, sanitize=sanitize,
                          active_set=active_set, faults=faults,
-                         scheduler=scheduler, workload=workload)
+                         scheduler=scheduler, workload=workload,
+                         tracer=tracer, trace_switch=trace_switch)
 
 
 def run_network_sweep(

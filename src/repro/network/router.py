@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.arbiter import RoundRobinArbiter
 from ..core.errors import invariant
@@ -231,6 +231,84 @@ class NetworkRouter(Component):
     def set_exhaustive(self) -> None:
         """Reference schedule: disable the per-input activity flags."""
         self._in_active = AlwaysActive()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    #: Wiring/spec excluded from snapshots: ``links``/``credit_sinks``
+    #: hold delivery callbacks into the owning simulation (their
+    #: flow-control *state* is captured explicitly below), ``config``/
+    #: ``name`` are construction parameters, and the fault injector is
+    #: shared across routers and checkpointed by the simulation.
+    SNAPSHOT_WIRING = (
+        "hooks", "config", "name", "links", "credit_sinks",
+        "fault_injector",
+    )
+
+    def _snapshot_state(self) -> Dict[str, Any]:
+        """Explicit capture: every ``__init__`` attribute that is not
+        wiring, with delayed credits encoded as (input port, vc)."""
+        if self._staged_credits or self._staged_releases:
+            raise RuntimeError(
+                f"{self.name}: snapshot between compute and commit "
+                "(staged intents pending)"
+            )
+        sink_port = {
+            id(sink): port
+            for port, sink in enumerate(self.credit_sinks)
+            if sink is not None
+        }
+        return {
+            "cycle": self.cycle,
+            "inputs": self.inputs,
+            "_input_arb": self._input_arb,
+            "_output_arb": self._output_arb,
+            "input_busy": self.input_busy,
+            "output_busy": self.output_busy,
+            "_credit_out": self._credit_out.dump(
+                lambda item: (sink_port[id(item[0])], item[1])
+            ),
+            "_vc_release": self._vc_release,
+            "_in_active": self._in_active,
+            "_resident": self._resident,
+            "_stuck_inputs": self._stuck_inputs,
+            "links": [
+                None if link is None else {
+                    "alive": link.alive,
+                    "vc_state": link.vc_state,
+                    "credits": link.credits,
+                }
+                for link in self.links
+            ],
+        }
+
+    def _restore_state(self, state: Dict[str, Any]) -> None:
+        """Apply a capture in place; link objects keep their identity
+        (their delivery callbacks are live wiring) and only their
+        flow-control state is replaced."""
+        self.cycle = state["cycle"]
+        self.inputs = state["inputs"]
+        self._input_arb = state["_input_arb"]
+        self._output_arb = state["_output_arb"]
+        self.input_busy = state["input_busy"]
+        self.output_busy = state["output_busy"]
+        self._credit_out = DelayLine.load(
+            state["_credit_out"],
+            lambda item: (self.credit_sinks[item[0]], item[1]),
+        )
+        self._vc_release = state["_vc_release"]
+        self._in_active = state["_in_active"]
+        self._resident = state["_resident"]
+        self._stuck_inputs = state["_stuck_inputs"]
+        self._staged_credits = ()
+        self._staged_releases = ()
+        for link, captured in zip(self.links, state["links"]):
+            if link is None or captured is None:
+                continue
+            link.alive = captured["alive"]
+            link.vc_state = captured["vc_state"]
+            link.credits = captured["credits"]
 
     def _allocate(self) -> None:
         now = self.cycle

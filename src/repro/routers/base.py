@@ -75,6 +75,11 @@ class Router(Component):
     #: points of their own.
     TRACE_STAGES: Tuple[str, ...] = ("RC", "ST")
 
+    #: Construction-time wiring excluded from the generic snapshot (the
+    #: frozen config and the fault-injector handle are re-established by
+    #: whoever rebuilds the simulation, not deserialized with it).
+    SNAPSHOT_WIRING = ("config", "fault_injector")
+
     def __init__(self, config: RouterConfig) -> None:
         self.config = config
         self.cycle = 0

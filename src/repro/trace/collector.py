@@ -208,6 +208,25 @@ class TraceCollector:
         hooks.on_fault_recover(self._on_fault_recover)
         return self
 
+    def attach_network(self, sim, switch) -> "TraceCollector":
+        """Trace one router of a network simulation.
+
+        Per-flit lifecycle events come from the traced router's own
+        hook bus; per-cycle counts and fault injections/recoveries are
+        network-wide events emitted on the *simulation* bus, so those
+        handlers subscribe there.  (The router bus never carries cycle
+        or fault events in a network simulation, and vice versa, so
+        nothing is double-counted.)
+        """
+        router = sim.routers[switch]
+        self.attach(router)
+        self.label = f"{type(router).__name__}[{switch}]"
+        hooks = sim.hooks
+        hooks.on_cycle_end(self._on_cycle_end)
+        hooks.on_fault_inject(self._on_fault_inject)
+        hooks.on_fault_recover(self._on_fault_recover)
+        return self
+
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------

@@ -28,3 +28,44 @@ class HoardingComponent:
 class Wirer:
     def wire(self, peer):
         peer.handler = lambda value: value
+
+
+class ForgetfulSnapshot:
+    """Explicit snapshot that silently drops ``__init__`` state."""
+
+    SNAPSHOT_WIRING = ("hooks",)
+
+    def __init__(self, hooks):
+        self.hooks = hooks
+        self.cycle = 0
+        self.backlog = []
+
+    def snapshot(self):
+        return {"cycle": self.cycle}
+
+    def restore(self, state):
+        self.cycle = state["cycle"]
+
+
+class CompleteSnapshot:
+    """Negative control: every attribute captured or declared wiring."""
+
+    SNAPSHOT_WIRING = ("hooks",)
+
+    def __init__(self, hooks):
+        self.hooks = hooks
+        self.cycle = 0
+        self.backlog = []
+
+    def snapshot(self):
+        return {"cycle": self.cycle, "backlog": list(self.backlog)}
+
+
+class OptedOutSnapshot:
+    """Negative control: a raise-only stub opts out of the protocol."""
+
+    def __init__(self):
+        self.backlog = []
+
+    def snapshot(self):
+        raise ValueError("not checkpointable")
