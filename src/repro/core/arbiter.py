@@ -14,8 +14,30 @@ two-class (nonspeculative over speculative) arbitration of Figure 10(b).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 from .errors import invariant
+
+try:  # Optional: the struct-of-arrays batched hot path (PR 10).
+    import numpy as _np
+except ImportError:  # pragma: no cover - baked into the dev image
+    _np = None  # type: ignore[assignment]
+
+HAVE_NUMPY = _np is not None
+
+#: Count-trailing-zeros tables for the packed-bits arbitration path:
+#: ``_CTZ[pad][m]`` is the lowest set bit of ``m`` (0 for m == 0,
+#: masked off by the grant predicate).  Built lazily per pad width.
+_CTZ_TABLES: dict = {}
+
+
+def _ctz_table(pad: int) -> Any:
+    table = _CTZ_TABLES.get(pad)
+    if table is None:
+        table = _np.zeros(1 << pad, dtype=_np.int64)
+        for m in range(1, 1 << pad):
+            table[m] = (m & -m).bit_length() - 1
+        _CTZ_TABLES[pad] = table
+    return table
 
 
 class RoundRobinArbiter:
@@ -121,6 +143,317 @@ class HierarchicalArbiter:
                   "with no local winner", check="arbitration")
         self._locals[winning_group].commit(local_idx)
         return winning_group * self.group_size + local_idx
+
+
+class BatchArbiterBank:
+    """A bank of round-robin arbiters arbitrated as one batched matrix.
+
+    Semantically a list of ``rows`` independent
+    :class:`RoundRobinArbiter` instances, but :meth:`arbitrate_all`
+    grants every row of a (rows, width) boolean request matrix in one
+    rotate-and-argmin pass over struct-of-arrays pointer state instead
+    of ``rows`` Python-level scans.  Pointer semantics are bit-identical
+    to the scalar arbiter: the pointer rotates to one past the winner on
+    a grant (or via the deferred :meth:`commit`), and an all-False row
+    leaves its pointer untouched — which is also why skipping a scalar
+    arbiter call is equivalent to batching an all-False row.
+
+    Rows may be *ragged*: ``sizes[r]`` request lines are live in row
+    ``r`` (callers must leave the padding columns False).  Ranking by
+    ``(idx - ptr) % width`` preserves the scalar ``(idx - ptr) %
+    sizes[r]`` ordering because wrapped indices keep their relative
+    order and land strictly after the unwrapped ones; only the pointer
+    rotation needs the true per-row modulus.
+
+    A pure-Python backend (``force_python=True``, or automatic when
+    numpy is absent) runs the scalar scan per row, so batched callers
+    degrade gracefully instead of importing numpy unconditionally.
+    """
+
+    __slots__ = (
+        "rows", "width", "_numpy", "_ptr", "_sizes", "_cols", "_mask", "_pad",
+    )
+
+    def __init__(
+        self,
+        rows: int,
+        width: int,
+        sizes: Optional[Sequence[int]] = None,
+        force_python: bool = False,
+    ) -> None:
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        size_list = [width] * rows if sizes is None else [int(s) for s in sizes]
+        if len(size_list) != rows:
+            raise ValueError(
+                f"expected {rows} row sizes, got {len(size_list)}"
+            )
+        for s in size_list:
+            if not 1 <= s <= width:
+                raise ValueError(f"row size {s} out of range 1..{width}")
+        self.rows = rows
+        self.width = width
+        self._numpy = bool(HAVE_NUMPY and not force_python)
+        # Bitwise-AND modulus for the (common) power-of-two width.
+        self._mask = width - 1 if width & (width - 1) == 0 else None
+        # Narrow banks use the packed-bits path: each row packs into one
+        # machine word, rotation is two shifts, and the winner offset is
+        # a count-trailing-zeros table lookup.
+        self._pad = 8 if width <= 8 else (16 if width <= 16 else None)
+        if self._numpy:
+            self._ptr = _np.zeros(rows, dtype=_np.int64)
+            self._sizes = _np.asarray(size_list, dtype=_np.int64)
+            self._cols = _np.arange(width, dtype=_np.int64)
+            if self._pad is not None:
+                _ctz_table(self._pad)
+        else:
+            self._ptr = [0] * rows
+            self._sizes = size_list
+            self._cols = None
+
+    @property
+    def pointers(self) -> List[int]:
+        """Current priority pointer of every row (scalar-arbiter view)."""
+        if self._numpy:
+            return [int(p) for p in self._ptr]
+        return list(self._ptr)
+
+    def arbitrate_all(self, requests: Any, advance: bool = True) -> Any:
+        """Grant one requester per row of a (rows, width) boolean matrix.
+
+        Returns a length-``rows`` integer vector (numpy array on the
+        numpy backend, list on the pure-Python one) holding the granted
+        column per row, or -1 for rows with no asserted request.
+        """
+        if not self._numpy:
+            return self._arbitrate_all_python(requests, advance)
+        winners, granted = self._arbitrate_numpy(requests, self._ptr)
+        if advance:
+            self._ptr = _np.where(
+                granted, (winners + 1) % self._sizes, self._ptr
+            )
+        return winners
+
+    def arbitrate_rows(self, rows: Any, requests: Any, advance: bool = True) -> Any:
+        """Arbitrate only the given row indices (numpy backend).
+
+        ``requests`` is (len(rows), width); rows not listed behave like
+        all-False rows — no grant, no pointer motion — so sparse callers
+        can skip provably empty rows without changing semantics.  Each
+        row may appear at most once.
+        """
+        if not self._numpy:
+            winners = []
+            for r, row in zip(rows, requests):
+                ptr, size = self._ptr[r], self._sizes[r]
+                win = -1
+                for offset in range(size):
+                    idx = (ptr + offset) % size
+                    if row[idx]:
+                        win = idx
+                        break
+                winners.append(win)
+                if advance and win >= 0:
+                    self._ptr[r] = (win + 1) % size
+            return winners
+        winners, granted = self._arbitrate_numpy(requests, self._ptr[rows])
+        if advance:
+            hit = _np.nonzero(granted)[0]
+            if hit.size:
+                grows = rows[hit]
+                self._ptr[grows] = (winners[hit] + 1) % self._sizes[grows]
+        return winners
+
+    def _arbitrate_numpy(self, requests: Any, ptr: Any) -> "tuple[Any, Any]":
+        """Winner/granted vectors for a request matrix against ``ptr``.
+
+        Pure with respect to bank state (pointer updates are the
+        caller's).  The packed path rotates each row's request word
+        right by its pointer and takes count-trailing-zeros: the
+        identical first-asserted-line-at-or-after-the-pointer rule,
+        with the pad width as the (order-preserving) ranking modulus.
+        """
+        if self._pad is not None:
+            packed = _np.packbits(requests, axis=1, bitorder="little")
+            if self._pad == 8:
+                word = packed[:, 0].astype(_np.int64)
+            else:
+                word = (
+                    packed[:, 0].astype(_np.int64)
+                    | (packed[:, 1].astype(_np.int64) << 8)
+                )
+            pad_mask = (1 << self._pad) - 1
+            rot = ((word >> ptr) | (word << (self._pad - ptr))) & pad_mask
+            offset = _ctz_table(self._pad)[rot]
+            granted = word != 0
+            winners = _np.where(granted, (ptr + offset) & (self._pad - 1), -1)
+            return winners, granted
+        rel = self._cols - ptr[:, None]
+        rank = rel & self._mask if self._mask is not None else rel % self.width
+        masked = _np.where(requests, rank, self.width)
+        win_rank = masked.min(axis=1)
+        granted = win_rank < self.width
+        raw = ptr + win_rank
+        if self._mask is not None:
+            raw &= self._mask
+        else:
+            raw %= self.width
+        winners = _np.where(granted, raw, -1)
+        return winners, granted
+
+    def _arbitrate_all_python(self, requests: Any, advance: bool) -> List[int]:
+        winners = []
+        for r in range(self.rows):
+            row = requests[r]
+            ptr = self._ptr[r]
+            size = self._sizes[r]
+            win = -1
+            for offset in range(size):
+                idx = (ptr + offset) % size
+                if row[idx]:
+                    win = idx
+                    break
+            winners.append(win)
+            if advance and win >= 0:
+                self._ptr[r] = (win + 1) % size
+        return winners
+
+    def commit(self, row: int, winner: int) -> None:
+        """Deferred pointer rotation for one row (scalar ``commit``)."""
+        if not 0 <= winner < self._sizes[row]:
+            raise ValueError(
+                f"winner {winner} out of range 0..{int(self._sizes[row]) - 1}"
+            )
+        self._ptr[row] = (winner + 1) % self._sizes[row]
+
+    def commit_rows(self, rows: Any, winners: Any) -> None:
+        """Vectorized deferred pointer rotation for many rows."""
+        if self._numpy:
+            self._ptr[rows] = (winners + 1) % self._sizes[rows]
+        else:
+            for row, winner in zip(rows, winners):
+                self._ptr[row] = (winner + 1) % self._sizes[row]
+
+
+class BatchHierarchicalArbiterBank:
+    """A bank of :class:`HierarchicalArbiter` instances batched as one.
+
+    ``count`` independent local/global two-stage arbiters over ``size``
+    request lines each, granted together from a (count, size) boolean
+    request matrix.  The staging mirrors the scalar arbiter exactly:
+    locals arbitrate without advancing, the global arbiter advances on
+    grant, and only the winning group's local pointer commits.
+    """
+
+    __slots__ = (
+        "count", "size", "group_size", "_ngroups", "_padded",
+        "_numpy", "_locals", "_global", "_padbuf",
+    )
+
+    def __init__(
+        self,
+        count: int,
+        size: int,
+        group_size: int,
+        force_python: bool = False,
+    ) -> None:
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        if group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {group_size}")
+        self.count = count
+        self.size = size
+        self.group_size = min(group_size, size)
+        gs = self.group_size
+        self._ngroups = (size + gs - 1) // gs
+        self._padded = self._ngroups * gs
+        local_sizes = [
+            min(gs, size - g * gs) for g in range(self._ngroups)
+        ] * count
+        self._locals = BatchArbiterBank(
+            count * self._ngroups, gs, sizes=local_sizes,
+            force_python=force_python,
+        )
+        self._global = BatchArbiterBank(
+            count, self._ngroups, force_python=force_python
+        )
+        self._numpy = self._locals._numpy
+        if self._numpy and self._padded != size:
+            # Persistent padded staging buffer; the pad columns stay
+            # False because only [:, :size] is ever written.
+            self._padbuf = _np.zeros((count, self._padded), dtype=bool)
+        else:
+            self._padbuf = None
+
+    @property
+    def pointers(self) -> "tuple[List[int], List[int]]":
+        """(local pointers, global pointers) for state comparisons."""
+        return self._locals.pointers, self._global.pointers
+
+    def grant_all(self, requests: Any) -> Any:
+        """Grant one input per row of a (count, size) request matrix.
+
+        Returns a length-``count`` integer vector: winning request line
+        per row, -1 where no line is asserted.
+        """
+        if not self._numpy:
+            return self._grant_all_python(requests)
+        if self._padbuf is not None:
+            self._padbuf[:, : self.size] = requests
+            req = self._padbuf
+        else:
+            req = requests
+        req2 = req.reshape(self.count * self._ngroups, self.group_size)
+        local_w = self._locals.arbitrate_all(req2, advance=False)
+        group_req = (local_w >= 0).reshape(self.count, self._ngroups)
+        gwin = self._global.arbitrate_all(group_req, advance=True)
+        rows = _np.nonzero(gwin >= 0)[0]
+        winners = _np.full(self.count, -1, dtype=_np.int64)
+        if rows.size:
+            lrows = rows * self._ngroups + gwin[rows]
+            self._locals.commit_rows(lrows, local_w[lrows])
+            winners[rows] = gwin[rows] * self.group_size + local_w[lrows]
+        return winners
+
+    def _grant_all_python(self, requests: Any) -> List[int]:
+        gs = self.group_size
+        winners = []
+        for c in range(self.count):
+            row = requests[c]
+            local_winners: List[int] = []
+            group_req = []
+            for g in range(self._ngroups):
+                lrow = c * self._ngroups + g
+                base = g * gs
+                span = self._locals._sizes[lrow]
+                ptr = self._locals._ptr[lrow]
+                win = -1
+                for offset in range(span):
+                    idx = (ptr + offset) % span
+                    if row[base + idx]:
+                        win = idx
+                        break
+                local_winners.append(win)
+                group_req.append(win >= 0)
+            gptr = self._global._ptr[c]
+            gwin = -1
+            for offset in range(self._ngroups):
+                g = (gptr + offset) % self._ngroups
+                if group_req[g]:
+                    gwin = g
+                    break
+            if gwin < 0:
+                winners.append(-1)
+                continue
+            self._global.commit(c, gwin)
+            lrow = c * self._ngroups + gwin
+            self._locals.commit(lrow, local_winners[gwin])
+            winners.append(gwin * gs + local_winners[gwin])
+        return winners
 
 
 class PriorityArbiter:

@@ -63,6 +63,11 @@ class RouterConfig:
             allocation proceeds before VC allocation completes).  The
             paper's high-radix routers always speculate; disabling is
             provided for ablation.
+        batch_hot_path: Run the arbitration/eligibility hot loops as
+            struct-of-arrays numpy batches (see docs/architecture.md,
+            "Batched hot path").  Byte-identical to the scalar path by
+            contract; silently falls back to the scalar path when numpy
+            is unavailable.
         seed: Seed for all randomized tie-breaking and traffic.
     """
 
@@ -83,6 +88,7 @@ class RouterConfig:
     credit_latency: int = 2
     ideal_credit_return: bool = False
     speculative: bool = True
+    batch_hot_path: bool = False
     seed: int = 1
 
     def __post_init__(self) -> None:

@@ -174,6 +174,28 @@ class CreditReturnBus:
                 return s
         return None
 
+    def grant_to(self, source: int, now: int) -> None:
+        """Externally arbitrated bus grant: ``source`` wins this cycle.
+
+        The batched hot path arbitrates every row bus in one matrix
+        pass and then applies each winner here; the state updates are
+        exactly those of the winning branch of :meth:`step`, so the
+        round-robin position stays in lockstep with the external
+        arbiter.
+        """
+        sink = self._pending[source].popleft()
+        self._pipe.send(now, sink)
+        self._rr = (source + 1) % self.num_sources
+
+    def deliver(self, now: int) -> None:
+        """Deliver due credits without arbitrating (batched step tail)."""
+        self._pipe.step(now)
+
+    @property
+    def wire_busy(self) -> bool:
+        """Credits still in flight on the wire (batched-step liveness)."""
+        return len(self._pipe._inflight) > 0
+
     def backlog(self) -> int:
         """Credits still waiting for the bus (excludes in-flight ones)."""
         return sum(len(q) for q in self._pending)

@@ -238,13 +238,23 @@ class SwitchSimulation:
             # resyncs before anything else observes this cycle.
             self._faults.advance(now)
         if self._generating:
-            for src in self.sources:
-                if (
-                    src.generate(now, self._measuring) is not None
-                    and self._measuring
-                ):
-                    self._labeled_outstanding += 1
-                    self._labeled_total += 1
+            measuring = self._measuring
+            if self._workload is None:
+                for src in self.sources:
+                    # Pre-drawn arrival still ahead: generate() would be
+                    # a no-op (it polls the same cached prediction), so
+                    # skip the call on this hot per-source loop.
+                    nxt = src._next_arrival
+                    if nxt is not None and nxt > now:
+                        continue
+                    if src.generate(now, measuring) is not None and measuring:
+                        self._labeled_outstanding += 1
+                        self._labeled_total += 1
+            else:
+                for src in self.sources:
+                    if src.generate(now, measuring) is not None and measuring:
+                        self._labeled_outstanding += 1
+                        self._labeled_total += 1
         self._inject(now)
 
     def _collect_ejected(self, now: int) -> None:
@@ -305,25 +315,32 @@ class SwitchSimulation:
         among VCs with free buffer space when its head flit enters.
         """
         fc = self.config.flit_cycles
-        v = self.config.num_vcs
         faults = self._faults
+        next_inject = self._next_inject
+        packet_vc = self._packet_vc
+        banks = self._engine.inputs
         for i, src in enumerate(self.sources):
-            if now < self._next_inject[i]:
+            if now < next_inject[i]:
                 continue
             if faults is not None and not faults.channel_ready(i, now):
                 continue
-            flit = src.head()
-            if flit is None:
+            queue = src.queue
+            if not queue:
                 continue
-            vc = self._packet_vc[i]
-            if flit.is_head and vc is None:
+            flit = queue[0]
+            vc = packet_vc[i]
+            if vc is None:
+                invariant(flit.is_head, "packet VC lost mid-packet",
+                          cycle=now, port=i, check="injection")
                 vc = self._pick_vc(i)
                 if vc is None:
                     continue
-                self._packet_vc[i] = vc
-            invariant(vc is not None, "packet VC lost mid-packet",
-                      cycle=now, port=i, check="injection")
-            if self.router.input_space(i, vc) < 1:
+                packet_vc[i] = vc
+            # Inlined input_space(i, vc) >= 1: this backpressure check
+            # runs for every backlogged port every cycle, so it reads
+            # the buffer directly instead of going through two calls.
+            q = banks[i].queues[vc]
+            if len(q._q) >= q.maxlen:
                 continue
             flit.vc = vc
             if faults is not None and not faults.attempt_transmit(
@@ -349,9 +366,17 @@ class SwitchSimulation:
 
     def _pick_vc(self, i: int) -> Optional[int]:
         v = self.config.num_vcs
+        # Direct buffer reads (== input_space >= 1): a head flit stuck
+        # behind full buffers rescans every VC every cycle, making this
+        # the harness's hottest loop at saturation.
+        queues = self._engine.inputs[i].queues
+        rr = self._vc_rr[i]
         for offset in range(v):
-            vc = (self._vc_rr[i] + offset) % v
-            if self.router.input_space(i, vc) >= 1:
+            vc = rr + offset
+            if vc >= v:
+                vc -= v
+            q = queues[vc]
+            if len(q._q) < q.maxlen:
                 self._vc_rr[i] = (vc + 1) % v
                 return vc
         return None
@@ -782,6 +807,7 @@ def saturation_throughput(
     load: float = 1.0,
     seed: Optional[int] = None,
     sanitize: bool = False,
+    scheduler: str = "cycle",
 ) -> float:
     """Accepted throughput at (near-)unit offered load."""
     router = make_router(config)
@@ -794,6 +820,7 @@ def saturation_throughput(
         avg_burst=avg_burst,
         seed=seed,
         sanitize=sanitize,
+        scheduler=scheduler,
     )
     return sim.run(settings).throughput
 
@@ -804,10 +831,12 @@ def find_saturation_load(
     packet_size: int = 1,
     pattern_factory: PatternFactory = _default_pattern,
     injection: str = "bernoulli",
+    avg_burst: float = 8.0,
     settings: Optional[SweepSettings] = None,
     tolerance: float = 0.02,
     seed: Optional[int] = None,
     sanitize: bool = False,
+    scheduler: str = "cycle",
 ) -> float:
     """Binary-search the saturation load of a router configuration.
 
@@ -836,8 +865,10 @@ def find_saturation_load(
             packet_size=packet_size,
             pattern=pattern_factory(config),
             injection=injection,
+            avg_burst=avg_burst,
             seed=seed,
             sanitize=sanitize,
+            scheduler=scheduler,
         )
         result = sim.run(settings)
         return result.saturated or result.throughput < load - slack

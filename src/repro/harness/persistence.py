@@ -44,7 +44,7 @@ def result_to_dict(result: RunResult) -> Dict:
         "offered_load": result.offered_load,
         "avg_latency": _finite_or_none(result.avg_latency),
         "p99_latency": _finite_or_none(result.p99_latency),
-        "max_latency": result.max_latency,
+        "max_latency": _finite_or_none(result.max_latency),
         "throughput": result.throughput,
         "packets_measured": result.packets_measured,
         "cycles": result.cycles,
@@ -59,7 +59,7 @@ def result_from_dict(data: Dict) -> RunResult:
         offered_load=data["offered_load"],
         avg_latency=_none_to_nan(data["avg_latency"]),
         p99_latency=_none_to_nan(data["p99_latency"]),
-        max_latency=data["max_latency"],
+        max_latency=_none_to_nan(data["max_latency"]),
         throughput=data["throughput"],
         packets_measured=data["packets_measured"],
         cycles=data["cycles"],

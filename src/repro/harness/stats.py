@@ -39,15 +39,27 @@ class LatencySample:
         return sum(self.latencies) / len(self.latencies)
 
     @property
-    def maximum(self) -> int:
-        return max(self.latencies) if self.latencies else 0
+    def maximum(self) -> float:
+        """Largest observed latency; NaN on an empty sample.
+
+        NaN (not 0) so an empty measurement window reads the same way
+        across mean, percentile, and maximum — a 0 here is a plausible
+        real latency and silently poisons downstream min/max folds.
+        """
+        return float(max(self.latencies)) if self.latencies else float("nan")
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile, q in [0, 100]."""
-        if not self.latencies:
-            return float("nan")
+        """Linear-interpolated percentile, q in [0, 100].
+
+        An out-of-range ``q`` raises even on an empty sample: the
+        argument is invalid regardless of the data, and returning NaN
+        would hide the caller's bug whenever the window happened to be
+        empty.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.latencies:
+            return float("nan")
         data = sorted(self.latencies)
         if len(data) == 1:
             return float(data[0])
@@ -109,7 +121,8 @@ class RunResult:
     offered_load: float
     avg_latency: float
     p99_latency: float
-    max_latency: int
+    #: NaN when no packets were measured, like the other latency fields.
+    max_latency: float
     throughput: float
     packets_measured: int
     cycles: int

@@ -1,0 +1,189 @@
+"""Property tests: the batched arbiter banks against their scalar twins.
+
+The batched hot path (``config.batch_hot_path``) rests on one claim:
+:class:`~repro.core.arbiter.BatchArbiterBank` behaves exactly like a
+list of independent :class:`~repro.core.arbiter.RoundRobinArbiter`
+instances, grant for grant and pointer for pointer, including the
+deferred ``commit`` protocol and the all-False-row-is-a-skipped-call
+equivalence.  These tests drive both implementations through identical
+random request/commit sequences and compare every observable after
+every step, on the numpy backend and the pure-Python fallback alike.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arbiter import (
+    HAVE_NUMPY,
+    BatchArbiterBank,
+    BatchHierarchicalArbiterBank,
+    HierarchicalArbiter,
+    RoundRobinArbiter,
+)
+
+BACKENDS = [True] + ([False] if HAVE_NUMPY else [])
+
+
+def _np_or_list(matrix, numpy_backend):
+    if numpy_backend and HAVE_NUMPY:
+        import numpy as np
+
+        return np.asarray(matrix, dtype=bool)
+    return matrix
+
+
+# One scripted episode: bank shape plus a sequence of request matrices
+# interleaved with occasional commit overrides.
+episodes = st.integers(1, 6).flatmap(
+    lambda rows: st.integers(1, 20).flatmap(
+        lambda width: st.fixed_dictionaries(
+            {
+                "rows": st.just(rows),
+                "width": st.just(width),
+                "steps": st.lists(
+                    st.tuples(
+                        st.lists(
+                            st.lists(
+                                st.booleans(),
+                                min_size=width, max_size=width,
+                            ),
+                            min_size=rows, max_size=rows,
+                        ),
+                        st.booleans(),  # advance?
+                        # Optional commit (row, winner) after the step.
+                        st.one_of(
+                            st.none(),
+                            st.tuples(
+                                st.integers(0, rows - 1),
+                                st.integers(0, width - 1),
+                            ),
+                        ),
+                    ),
+                    min_size=1, max_size=8,
+                ),
+            }
+        )
+    )
+)
+
+
+class TestBatchArbiterBank:
+    @settings(max_examples=120, deadline=None)
+    @given(episodes, st.sampled_from([0, 1]))
+    def test_matches_scalar_bank(self, episode, backend_idx):
+        """Identical grants and pointers through any request/commit
+        sequence, on every available backend."""
+        force_python = BACKENDS[backend_idx % len(BACKENDS)]
+        rows, width = episode["rows"], episode["width"]
+        bank = BatchArbiterBank(rows, width, force_python=force_python)
+        scalars = [RoundRobinArbiter(width) for _ in range(rows)]
+        for requests, advance, commit in episode["steps"]:
+            got = bank.arbitrate_all(
+                _np_or_list(requests, not force_python), advance=advance
+            )
+            want = [
+                s.arbitrate(row, advance=advance)
+                for s, row in zip(scalars, requests)
+            ]
+            assert [int(w) for w in got] == [
+                -1 if w is None else w for w in want
+            ]
+            assert bank.pointers == [s.pointer for s in scalars]
+            if commit is not None:
+                row, winner = commit
+                bank.commit(row, winner)
+                scalars[row].commit(winner)
+                assert bank.pointers == [s.pointer for s in scalars]
+
+    @settings(max_examples=80, deadline=None)
+    @given(episodes, st.data())
+    def test_sparse_rows_match_skipped_scalar_calls(self, episode, data):
+        """arbitrate_rows over a subset == scalar calls on that subset,
+        with untouched rows keeping their pointers (skip equivalence)."""
+        rows, width = episode["rows"], episode["width"]
+        bank = BatchArbiterBank(rows, width)
+        scalars = [RoundRobinArbiter(width) for _ in range(rows)]
+        for requests, advance, _ in episode["steps"]:
+            subset = sorted(
+                data.draw(
+                    st.sets(st.integers(0, rows - 1), min_size=0,
+                            max_size=rows)
+                )
+            )
+            if not subset:
+                continue
+            sub_req = [requests[r] for r in subset]
+            if HAVE_NUMPY:
+                import numpy as np
+
+                got = bank.arbitrate_rows(
+                    np.asarray(subset), np.asarray(sub_req, dtype=bool),
+                    advance=advance,
+                )
+            else:
+                got = bank.arbitrate_rows(subset, sub_req, advance=advance)
+            want = [
+                scalars[r].arbitrate(row, advance=advance)
+                for r, row in zip(subset, sub_req)
+            ]
+            assert [int(w) for w in got] == [
+                -1 if w is None else w for w in want
+            ]
+            assert bank.pointers == [s.pointer for s in scalars]
+
+    def test_all_false_row_moves_no_pointer(self):
+        bank = BatchArbiterBank(2, 4)
+        out = bank.arbitrate_all(_np_or_list([[False] * 4] * 2, True))
+        assert [int(w) for w in out] == [-1, -1]
+        assert bank.pointers == [0, 0]
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BatchArbiterBank(0, 4)
+        with pytest.raises(ValueError):
+            BatchArbiterBank(4, 0)
+        with pytest.raises(ValueError):
+            BatchArbiterBank(2, 4, sizes=[4])
+        with pytest.raises(ValueError):
+            BatchArbiterBank(2, 4, sizes=[4, 5])
+        with pytest.raises(ValueError):
+            BatchArbiterBank(2, 4).commit(0, 7)
+
+
+class TestBatchHierarchicalArbiterBank:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.integers(1, 4),      # count
+        st.integers(1, 12),     # size
+        st.integers(1, 6),      # group_size
+        st.data(),
+    )
+    def test_matches_scalar_hierarchical(self, count, size, group_size,
+                                         data):
+        for force_python in BACKENDS:
+            bank = BatchHierarchicalArbiterBank(
+                count, size, group_size, force_python=force_python
+            )
+            scalars = [
+                HierarchicalArbiter(size, group_size) for _ in range(count)
+            ]
+            steps = data.draw(
+                st.lists(
+                    st.lists(
+                        st.lists(st.booleans(), min_size=size,
+                                 max_size=size),
+                        min_size=count, max_size=count,
+                    ),
+                    min_size=1, max_size=6,
+                )
+            )
+            for requests in steps:
+                got = bank.grant_all(
+                    _np_or_list(requests, not force_python)
+                )
+                want = [
+                    s.arbitrate(row) for s, row in zip(scalars, requests)
+                ]
+                assert [int(w) for w in got] == [
+                    -1 if w is None else w for w in want
+                ]

@@ -70,9 +70,11 @@ FIELDS = (
 SWITCH_EXTRAS = ("undelivered", "source_backlog")
 
 
-def _run_switch(name: str, scheduler: str = "cycle") -> dict:
+def _run_switch(name: str, scheduler: str = "cycle",
+                batch: bool = False) -> dict:
+    config = SWITCH_CONFIG.with_(batch_hot_path=batch)
     sim = SwitchSimulation(
-        ROUTERS[name](SWITCH_CONFIG),
+        ROUTERS[name](config),
         load=SWITCH_LOAD,
         packet_size=SWITCH_PACKET_SIZE,
         scheduler=scheduler,
@@ -84,8 +86,11 @@ def _run_switch(name: str, scheduler: str = "cycle") -> dict:
     return snap
 
 
-def _run_network(scheduler: str = "cycle") -> dict:
-    sim = ClosNetworkSimulation(NETWORK_CONFIG, NETWORK_LOAD,
+def _run_network(scheduler: str = "cycle", batch: bool = False) -> dict:
+    import dataclasses
+
+    config = dataclasses.replace(NETWORK_CONFIG, batch_hot_path=batch)
+    sim = ClosNetworkSimulation(config, NETWORK_LOAD,
                                 scheduler=scheduler)
     result = sim.run(**NETWORK_WINDOWS)
     return {f: getattr(result, f) for f in FIELDS}
@@ -187,19 +192,24 @@ def _assert_matches(snap: dict, golden: dict, label: str) -> None:
         )
 
 
+@pytest.mark.parametrize("batch", [False, True], ids=["scalar", "batch"])
 @pytest.mark.parametrize("scheduler", ["cycle", "event"])
 @pytest.mark.parametrize("name", sorted(ROUTERS))
-def test_switch_golden(name: str, scheduler: str) -> None:
+def test_switch_golden(name: str, scheduler: str, batch: bool) -> None:
+    """The batched hot path must reproduce the same goldens bit for bit
+    (it is a no-op on routers that have no batched stage)."""
     _assert_matches(
-        _run_switch(name, scheduler), GOLDEN[name], f"{name}/{scheduler}"
+        _run_switch(name, scheduler, batch), GOLDEN[name],
+        f"{name}/{scheduler}/{'batch' if batch else 'scalar'}",
     )
 
 
+@pytest.mark.parametrize("batch", [False, True], ids=["scalar", "batch"])
 @pytest.mark.parametrize("scheduler", ["cycle", "event"])
-def test_network_golden(scheduler: str) -> None:
+def test_network_golden(scheduler: str, batch: bool) -> None:
     _assert_matches(
-        _run_network(scheduler), GOLDEN["clos-network"],
-        f"clos-network/{scheduler}",
+        _run_network(scheduler, batch), GOLDEN["clos-network"],
+        f"clos-network/{scheduler}/{'batch' if batch else 'scalar'}",
     )
 
 

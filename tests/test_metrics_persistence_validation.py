@@ -144,7 +144,8 @@ class TestPersistence:
         must carry ``null`` instead — and round-trip back to NaN."""
         r = RunResult(
             offered_load=0.0, avg_latency=float("nan"),
-            p99_latency=float("nan"), max_latency=0, throughput=0.0,
+            p99_latency=float("nan"), max_latency=float("nan"),
+            throughput=0.0,
             packets_measured=0, cycles=100, saturated=False,
         )
         path = tmp_path / "empty.json"
@@ -152,12 +153,14 @@ class TestPersistence:
         text = path.read_text()
         assert "NaN" not in text
         assert '"avg_latency": null' in text
+        assert '"max_latency": null' in text
         import json
         json.loads(text)  # strict parsers must accept the file
         (loaded,) = load_sweeps(path)
         back = loaded.results[0]
         assert math.isnan(back.avg_latency)
         assert math.isnan(back.p99_latency)
+        assert math.isnan(back.max_latency)
         assert back.packets_measured == 0
 
     def test_finite_latency_unaffected_by_null_mapping(self):

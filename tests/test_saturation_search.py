@@ -51,6 +51,64 @@ class TestFindSaturationLoad:
             )
 
 
+class TestSaturationHelperPlumbing:
+    """The saturation helpers used to silently drop ``scheduler`` (and
+    ``find_saturation_load`` also ``avg_burst``), so every inner run
+    fell back to the cycle scheduler and the default burst length."""
+
+    def _record_kwargs(self, monkeypatch):
+        from repro.harness import experiment
+
+        seen = []
+        real = experiment.SwitchSimulation
+
+        class Recorder(real):
+            def __init__(self, *args, **kwargs):
+                seen.append(dict(kwargs))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "SwitchSimulation", Recorder)
+        return seen
+
+    def test_saturation_throughput_forwards_scheduler(self, monkeypatch):
+        seen = self._record_kwargs(monkeypatch)
+        saturation_throughput(
+            BufferedCrossbarRouter, CFG, settings=SETTINGS,
+            scheduler="event",
+        )
+        assert seen and all(k["scheduler"] == "event" for k in seen)
+
+    def test_find_saturation_load_forwards_both(self, monkeypatch):
+        seen = self._record_kwargs(monkeypatch)
+        find_saturation_load(
+            BufferedCrossbarRouter, CFG, settings=SETTINGS, tolerance=0.2,
+            injection="onoff", avg_burst=3.0, scheduler="event",
+        )
+        assert seen
+        assert all(k["scheduler"] == "event" for k in seen)
+        assert all(k["avg_burst"] == 3.0 for k in seen)
+
+    def test_event_scheduler_matches_cycle(self):
+        """Event-driven fast-forward is semantics-preserving, so both
+        helpers must report identical numbers under either scheduler."""
+        thr = {
+            sched: saturation_throughput(
+                BufferedCrossbarRouter, CFG, settings=SETTINGS, load=0.6,
+                scheduler=sched,
+            )
+            for sched in ("cycle", "event")
+        }
+        assert thr["cycle"] == thr["event"]
+        knee = {
+            sched: find_saturation_load(
+                BufferedCrossbarRouter, CFG, settings=SETTINGS,
+                tolerance=0.1, scheduler=sched,
+            )
+            for sched in ("cycle", "event")
+        }
+        assert knee["cycle"] == knee["event"]
+
+
 class TestNetworkSweep:
     def test_curve_shape(self):
         sweep = run_network_sweep(

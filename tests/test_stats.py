@@ -13,8 +13,25 @@ class TestLatencySample:
         assert len(s) == 0
         assert math.isnan(s.mean)
         assert math.isnan(s.percentile(50))
-        assert s.maximum == 0
+        assert math.isnan(s.maximum)
         assert not s.converged()
+
+    def test_empty_sample_statistics_agree(self):
+        """mean, percentile, and maximum all read NaN when nothing was
+        measured; maximum used to report 0, which is a plausible real
+        latency."""
+        s = LatencySample()
+        assert math.isnan(s.maximum)
+        assert math.isnan(s.mean)
+        assert math.isnan(s.percentile(99.0))
+
+    def test_percentile_validates_q_before_empty_check(self):
+        """An out-of-range q is a caller bug and must raise even on an
+        empty sample (it used to return NaN and hide the error)."""
+        with pytest.raises(ValueError):
+            LatencySample().percentile(150.0)
+        with pytest.raises(ValueError):
+            LatencySample().percentile(-0.5)
 
     def test_mean(self):
         s = LatencySample()
